@@ -1,0 +1,220 @@
+package mobiquery
+
+// Benchmark harness: one bench per table and figure of the paper's
+// evaluation. Each bench runs a reduced-scale version of the corresponding
+// experiment (shorter sessions, fewer replicas) and reports the headline
+// quantity via b.ReportMetric, so `go test -bench=.` regenerates the shape
+// of every artifact quickly. The full-scale reproduction (paper durations,
+// paper replica counts) is produced by cmd/mobiquery-experiments and
+// recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+	"time"
+
+	"mobiquery/internal/analysis"
+	"mobiquery/internal/core"
+	"mobiquery/internal/experiment"
+	"mobiquery/internal/geom"
+)
+
+// geomPt and geomV keep the bench bodies concise.
+func geomPt(x, y float64) geom.Point { return geom.Pt(x, y) }
+func geomV(dx, dy float64) geom.Vec  { return geom.V(dx, dy) }
+
+// benchOpts trims experiment scale so the full bench suite completes in a
+// couple of minutes.
+func benchOpts() experiment.Options {
+	return experiment.Options{Runs: 1, BaseSeed: 1, Scale: 0.2}
+}
+
+// BenchmarkFig4SuccessRatio regenerates Figure 4: success ratio of MQ-JIT,
+// MQ-GP and NP across sleep periods and user speeds. Reported metrics give
+// the walking-user row at 15 s sleep.
+func BenchmarkFig4SuccessRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := experiment.Fig4(benchOpts())
+		if len(tables) != 3 {
+			b.Fatal("figure 4 shape broken")
+		}
+		last := tables[0].Rows[len(tables[0].Rows)-1]
+		b.ReportMetric(last.Cells[0].Value, "JIT-success")
+		b.ReportMetric(last.Cells[1].Value, "GP-success")
+		b.ReportMetric(last.Cells[2].Value, "NP-success")
+	}
+}
+
+// BenchmarkFig5DynamicBehavior regenerates Figure 5: per-period fidelity of
+// MQ-JIT vs MQ-GP at 15 s sleep. Reports mean fidelity of both series.
+func BenchmarkFig5DynamicBehavior(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiment.Fig5(benchOpts())
+		var gp, jit float64
+		for _, r := range tbl.Rows {
+			gp += r.Cells[0].Value
+			jit += r.Cells[1].Value
+		}
+		n := float64(len(tbl.Rows))
+		b.ReportMetric(gp/n, "GP-fidelity")
+		b.ReportMetric(jit/n, "JIT-fidelity")
+	}
+}
+
+// BenchmarkFig6AdvanceTime regenerates Figure 6: success ratio vs motion
+// profile advance time. Reports the Ta=-6s and Ta=18s endpoints at 9 s
+// sleep.
+func BenchmarkFig6AdvanceTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiment.Fig6(benchOpts())
+		b.ReportMetric(tbl.Rows[0].Cells[1].Value, "Ta=-6s-success")
+		b.ReportMetric(tbl.Rows[len(tbl.Rows)-1].Cells[1].Value, "Ta=18s-success")
+	}
+}
+
+// BenchmarkFig7MotionChanges regenerates Figure 7: success ratio vs motion
+// change interval, including GPS location error settings. Reports the
+// toughest cell (42 s interval, 10 m error) and the easiest (210 s, Ta=6s).
+func BenchmarkFig7MotionChanges(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbls := experiment.Fig7(benchOpts())
+		strict, target := tbls[0], tbls[1]
+		b.ReportMetric(strict.Rows[0].Cells[4].Value, "42s-err10m-success")
+		b.ReportMetric(target.Rows[0].Cells[4].Value, "42s-err10m-target-success")
+		b.ReportMetric(strict.Rows[len(strict.Rows)-1].Cells[0].Value, "210s-Ta6-success")
+	}
+}
+
+// BenchmarkFig8PowerConsumption regenerates Figure 8: average power per
+// sleeping node for bare CCP and MobiQuery. Reports the 15 s sleep row.
+func BenchmarkFig8PowerConsumption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiment.Fig8(benchOpts())
+		last := tbl.Rows[len(tbl.Rows)-1]
+		b.ReportMetric(last.Cells[0].Value, "CCP-watts")
+		b.ReportMetric(last.Cells[1].Value, "JIT-watts")
+	}
+}
+
+// BenchmarkTableStorageCost regenerates the Section 5.2 storage example:
+// PLjit=4 vs PLgp=58 (14.5x) for the paper's walking-user parameters, both
+// analytically and from simulation (at evaluation settings).
+func BenchmarkTableStorageCost(b *testing.B) {
+	q := analysis.QueryParams{Period: 10 * time.Second, Fresh: 5 * time.Second, Sleep: 15 * time.Second}
+	vprfh := analysis.PrefetchSpeed(100, 5, 60, 5000)
+	for i := 0; i < b.N; i++ {
+		plJIT := analysis.StorageJIT(q)
+		plGP := analysis.StorageGreedy(q, 600*time.Second, 4, vprfh)
+		b.ReportMetric(float64(plJIT), "PL-jit")
+		b.ReportMetric(float64(plGP), "PL-gp")
+
+		// Simulation cross-check at evaluation settings (sleep 9 s).
+		sc := experiment.Default().WithDuration(80 * time.Second)
+		sc.SleepPeriod = 9 * time.Second
+		res := experiment.Run(sc)
+		b.ReportMetric(float64(res.MaxPrefetchLength), "PL-jit-simulated")
+	}
+}
+
+// BenchmarkTableContention regenerates the Section 5.4 contention example:
+// about 4 interfering trees under JIT vs 35 under greedy for a walking
+// user, and v* ~ 131 mph.
+func BenchmarkTableContention(b *testing.B) {
+	c := analysis.ContentionParams{
+		QueryParams: analysis.QueryParams{Period: 5 * time.Second, Fresh: 3 * time.Second, Sleep: 9 * time.Second},
+		QueryRadius: 150,
+		CommRange:   50,
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(float64(c.InterferenceJIT(4)), "M-jit")
+		b.ReportMetric(float64(c.InterferenceGreedy(4, 210)), "M-gp")
+		b.ReportMetric(analysis.MetersPerSecondToMPH(c.CriticalSpeed()), "vstar-mph")
+	}
+}
+
+// BenchmarkTablePrefetchSpeed regenerates the Section 5.2 vprfh estimate
+// (~469 mph for MICA2-class hardware).
+func BenchmarkTablePrefetchSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		v := analysis.PrefetchSpeed(100, 5, 60, 5000)
+		b.ReportMetric(analysis.MetersPerSecondToMPH(v), "vprfh-mph")
+	}
+}
+
+// BenchmarkTableWarmup validates the equation (16) warmup bound against
+// simulation (the Section 5.3 result Tw ~ Tsleep + 2*Tfresh - Ta).
+func BenchmarkTableWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiment.WarmupValidation(experiment.Options{Runs: 1, BaseSeed: 1, Scale: 0.4})
+		for _, row := range tbl.Rows {
+			if row.Label == "0" {
+				b.ReportMetric(row.Cells[0].Value, "measured-periods")
+				b.ReportMetric(row.Cells[1].Value, "bound-periods")
+			}
+		}
+	}
+}
+
+// BenchmarkSingleRunJIT measures the cost of one paper-default simulation
+// (200 nodes, 400 s): the engine's raw throughput.
+func BenchmarkSingleRunJIT(b *testing.B) {
+	sc := experiment.Default().WithDuration(120 * time.Second)
+	sc.SleepPeriod = 9 * time.Second
+	for i := 0; i < b.N; i++ {
+		sc.Seed = int64(i + 1)
+		res := experiment.Run(sc)
+		b.ReportMetric(res.SuccessRatio, "success")
+		b.ReportMetric(float64(res.EventsFired), "events")
+	}
+}
+
+// BenchmarkAblationNoPrefetchHold quantifies the JIT hold's contribution:
+// JIT versus greedy at identical settings (the DESIGN.md ablation).
+func BenchmarkAblationNoPrefetchHold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		jit := experiment.Default().WithDuration(120 * time.Second)
+		jit.SleepPeriod = 15 * time.Second
+		gp := jit
+		gp.Scheme = core.SchemeGP
+		rj := experiment.Run(jit)
+		rg := experiment.Run(gp)
+		b.ReportMetric(rj.SuccessRatio, "JIT-success")
+		b.ReportMetric(rg.SuccessRatio, "GP-success")
+		b.ReportMetric(float64(rj.MediumStats.Collisions), "JIT-collisions")
+		b.ReportMetric(float64(rg.MediumStats.Collisions), "GP-collisions")
+	}
+}
+
+// BenchmarkAblationMechanisms runs the DESIGN.md ablation study at reduced
+// scale: the full system against variants with the flood jitter or the
+// forward lead removed, plus the GP/NP references.
+func BenchmarkAblationMechanisms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := experiment.Ablation(experiment.Options{Runs: 1, BaseSeed: 1, Scale: 0.3})
+		for _, row := range tbl.Rows {
+			switch row.Label {
+			case "full system (MQ-JIT)":
+				b.ReportMetric(row.Cells[0].Value, "full-success")
+			case "no flood jitter":
+				b.ReportMetric(row.Cells[0].Value, "nojitter-success")
+			case "no forward lead":
+				b.ReportMetric(row.Cells[0].Value, "nolead-success")
+			}
+		}
+	}
+}
+
+// BenchmarkExtensionTwoUsers measures two concurrent mobile users sharing
+// the network — the multi-user load the Section 5 contention analysis
+// anticipates. Reports each user's success ratio.
+func BenchmarkExtensionTwoUsers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := experiment.Default().WithDuration(120 * time.Second)
+		sc.SleepPeriod = 9 * time.Second
+		rs := experiment.RunMulti(sc, []experiment.UserSpec{
+			{QueryID: 1, Scheme: core.SchemeJIT, Start: geomPt(50, 100), Velocity: geomV(4, 0)},
+			{QueryID: 2, Scheme: core.SchemeJIT, Start: geomPt(400, 350), Velocity: geomV(-4, 0)},
+		})
+		b.ReportMetric(rs[0].SuccessRatio, "user1-success")
+		b.ReportMetric(rs[1].SuccessRatio, "user2-success")
+	}
+}

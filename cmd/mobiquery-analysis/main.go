@@ -1,0 +1,82 @@
+// Command mobiquery-analysis prints the paper's Section 5 closed-form
+// results: the just-in-time prefetch forwarding bound, the storage-cost
+// comparison (the 14.5x example), the prefetch-speed estimate, the warmup
+// interval, and the network-contention analysis with its v* threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobiquery/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiquery-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobiquery-analysis", flag.ContinueOnError)
+	var (
+		period = fs.Duration("period", 10*time.Second, "query period Tperiod")
+		fresh  = fs.Duration("fresh", 5*time.Second, "freshness bound Tfresh")
+		sleep  = fs.Duration("sleep", 15*time.Second, "sleep period Tsleep")
+		td     = fs.Duration("lifetime", 600*time.Second, "query lifetime Td")
+		vuser  = fs.Float64("vuser", 4, "user speed m/s")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q := analysis.QueryParams{Period: *period, Fresh: *fresh, Sleep: *sleep}
+	if err := q.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Println("== Section 5.2: prefetch speed (MICA2 example) ==")
+	vprfh := analysis.PrefetchSpeed(100, 5, 60, 5000)
+	fmt.Printf("vprfh = %.0f m/s = %.0f mph   (paper: ~469 mph)\n\n",
+		vprfh, analysis.MetersPerSecondToMPH(vprfh))
+
+	fmt.Println("== Section 5.1: just-in-time forwarding bound (eq. 10) ==")
+	for _, k := range []int{1, 2, 5, 10} {
+		fmt.Printf("tsend(%d) <= t0 + %v\n", k, analysis.PrefetchForwardTime(q, k+1))
+	}
+	fmt.Println()
+
+	fmt.Println("== Section 5.2: storage cost (eqs. 11-13) ==")
+	plJIT := analysis.StorageJIT(q)
+	plGP := analysis.StorageGreedy(q, *td, *vuser, vprfh)
+	fmt.Printf("PLjit = %d trees            (paper example: 4)\n", plJIT)
+	fmt.Printf("PLgp  = %d trees            (paper example: 58)\n", plGP)
+	fmt.Printf("ratio = %.1fx               (paper example: 14.5x)\n", float64(plGP)/float64(plJIT))
+	fmt.Printf("greedy exceeds JIT beyond Td = %v (eq. 13)\n\n",
+		analysis.StorageCrossover(q, *vuser, vprfh).Truncate(100*time.Millisecond))
+
+	fmt.Println("== Section 5.3: warmup interval (eq. 16) ==")
+	for _, ta := range []time.Duration{-8 * time.Second, 0, 6 * time.Second} {
+		fmt.Printf("Ta=%-4v  Tw = %v (%d periods)\n", ta,
+			analysis.WarmupInterval(q, ta, *vuser, vprfh),
+			analysis.WarmupPeriods(q, ta, *vuser, vprfh))
+	}
+	fmt.Printf("warmup vanishes at Ta = %v\n\n",
+		analysis.WarmupZeroAdvance(q, *vuser, vprfh).Truncate(100*time.Millisecond))
+
+	fmt.Println("== Section 5.4: network contention (eqs. 17-18, paper example) ==")
+	c := analysis.ContentionParams{
+		QueryParams: analysis.QueryParams{Period: 5 * time.Second, Fresh: 3 * time.Second, Sleep: 9 * time.Second},
+		QueryRadius: 150,
+		CommRange:   50,
+	}
+	fmt.Printf("Ms (spatial bound)    = %d trees\n", c.SpatialInterferers(4))
+	fmt.Printf("Mjit                  = %d trees   (paper: ~4)\n", c.InterferenceJIT(4))
+	fmt.Printf("Mgp                   = %d trees   (paper: ~35)\n", c.InterferenceGreedy(4, vprfh))
+	fmt.Printf("v*                    = %.1f m/s = %.0f mph (paper: ~131 mph)\n",
+		c.CriticalSpeed(), analysis.MetersPerSecondToMPH(c.CriticalSpeed()))
+	fmt.Printf("regime at %.0f m/s      : %s\n", *vuser, c.ContentionRegime(*vuser, vprfh))
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	if err := run([]string{"-period", "0s"}); err == nil {
+		t.Error("zero period should error")
+	}
+}

@@ -1,0 +1,80 @@
+// Command mobiquery-experiments reproduces every figure of the paper's
+// evaluation section and the warmup-bound validation.
+//
+// Usage:
+//
+//	mobiquery-experiments                 # all figures at paper scale
+//	mobiquery-experiments -fig 4          # one figure
+//	mobiquery-experiments -scale 0.25     # quick quarter-length sessions
+//	mobiquery-experiments -runs 2         # fewer topologies per point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobiquery/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiquery-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobiquery-experiments", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, or all")
+		runs  = fs.Int("runs", 0, "topologies per data point (0 = paper's count)")
+		scale = fs.Float64("scale", 1, "session length scale factor (1 = paper durations)")
+		seed  = fs.Int64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiment.Options{Runs: *runs, BaseSeed: *seed, Scale: *scale}
+
+	start := time.Now()
+	switch *fig {
+	case "4":
+		printFig4(opts)
+	case "5":
+		fmt.Println(experiment.Fig5(opts).Format())
+	case "6":
+		fmt.Println(experiment.Fig6(opts).Format())
+	case "7":
+		for _, tbl := range experiment.Fig7(opts) {
+			fmt.Println(tbl.Format())
+		}
+	case "8":
+		fmt.Println(experiment.Fig8(opts).Format())
+	case "warmup":
+		fmt.Println(experiment.WarmupValidation(opts).Format())
+	case "ablation":
+		fmt.Println(experiment.Ablation(opts).Format())
+	case "all":
+		printFig4(opts)
+		fmt.Println(experiment.Fig5(opts).Format())
+		fmt.Println(experiment.Fig6(opts).Format())
+		for _, tbl := range experiment.Fig7(opts) {
+			fmt.Println(tbl.Format())
+		}
+		fmt.Println(experiment.Fig8(opts).Format())
+		fmt.Println(experiment.WarmupValidation(opts).Format())
+		fmt.Println(experiment.Ablation(opts).Format())
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Truncate(time.Millisecond))
+	return nil
+}
+
+func printFig4(opts experiment.Options) {
+	for _, tbl := range experiment.Fig4(opts) {
+		fmt.Println(tbl.Format())
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigureSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	if err := run([]string{"-fig", "warmup", "-scale", "0.2", "-runs", "1"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure should error")
+	}
+}

@@ -1,0 +1,108 @@
+// Command mobiquery-sim runs a single MobiQuery simulation and prints
+// per-period outcomes plus run-level summaries.
+//
+// Usage:
+//
+//	mobiquery-sim -scheme jit -sleep 15s -speed-min 3 -speed-max 5 -duration 400s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobiquery"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiquery-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobiquery-sim", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		scheme   = fs.String("scheme", "jit", "prefetching scheme: jit, gp, or np")
+		nodes    = fs.Int("nodes", 200, "sensor node count")
+		region   = fs.Float64("region", 450, "square field side in meters")
+		sleep    = fs.Duration("sleep", 15*time.Second, "PSM sleep period")
+		radius   = fs.Float64("radius", 150, "query radius Rq in meters")
+		period   = fs.Duration("period", 2*time.Second, "query period")
+		fresh    = fs.Duration("fresh", time.Second, "data freshness bound")
+		speedMin = fs.Float64("speed-min", 3, "minimum user speed m/s")
+		speedMax = fs.Float64("speed-max", 5, "maximum user speed m/s")
+		change   = fs.Duration("change", 50*time.Second, "motion change interval")
+		duration = fs.Duration("duration", 400*time.Second, "session duration")
+		profiler = fs.String("profiler", "oracle", "motion profiler: oracle, planner, gps")
+		ta       = fs.Duration("ta", 0, "advance time Ta for the planner profiler")
+		gpsErr   = fs.Float64("gps-error", 0, "GPS location error in meters")
+		verbose  = fs.Bool("v", false, "print every query period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sim := mobiquery.DefaultSimulation()
+	sim.Seed = *seed
+	sim.Nodes = *nodes
+	sim.RegionSide = *region
+	sim.SleepPeriod = *sleep
+	sim.QueryRadius = *radius
+	sim.Period = *period
+	sim.Freshness = *fresh
+	sim.SpeedMin = *speedMin
+	sim.SpeedMax = *speedMax
+	sim.ChangeInterval = *change
+	sim.Duration = *duration
+	sim.Lifetime = *duration - 4*time.Second
+	sim.AdvanceTime = *ta
+	sim.GPSError = *gpsErr
+
+	switch *scheme {
+	case "jit":
+		sim.Scheme = mobiquery.JIT
+	case "gp":
+		sim.Scheme = mobiquery.GP
+	case "np":
+		sim.Scheme = mobiquery.NP
+	default:
+		return fmt.Errorf("unknown scheme %q", *scheme)
+	}
+	switch *profiler {
+	case "oracle":
+		sim.Profiler = mobiquery.Oracle
+	case "planner":
+		sim.Profiler = mobiquery.Planner
+	case "gps":
+		sim.Profiler = mobiquery.GPSPredictor
+	default:
+		return fmt.Errorf("unknown profiler %q", *profiler)
+	}
+	if err := sim.Validate(); err != nil {
+		return err
+	}
+
+	res := mobiquery.Run(sim)
+	if *verbose {
+		fmt.Println("  k   deadline  recv  onTime  fidelity  contrib/area  value")
+		for _, q := range res.Queries {
+			fmt.Printf("%3d  %8s  %5v  %6v  %8.3f  %6d/%-5d  %.2f\n",
+				q.K, q.Deadline.Truncate(10*time.Millisecond), q.Received, q.OnTime,
+				q.Fidelity, q.Contributors, q.AreaNodes, q.Value)
+		}
+	}
+	fmt.Printf("scheme            %v\n", sim.Scheme)
+	fmt.Printf("periods           %d\n", len(res.Queries))
+	fmt.Printf("success ratio     %.3f (fidelity >= %.0f%% and on time)\n", res.SuccessRatio, mobiquery.SuccessThreshold*100)
+	fmt.Printf("mean fidelity     %.3f\n", res.MeanFidelity)
+	fmt.Printf("backbone nodes    %d of %d\n", res.BackboneNodes, sim.Nodes)
+	fmt.Printf("power sleeping    %.3f W\n", res.PowerPerSleepingNode)
+	fmt.Printf("power backbone    %.3f W\n", res.PowerPerBackboneNode)
+	fmt.Printf("prefetch length   %d trees ahead (eq.12 bound %d)\n",
+		res.MaxPrefetchLength, mobiquery.JITStorageBound(sim.SleepPeriod, sim.Freshness, sim.Period))
+	return nil
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunSmallScenario(t *testing.T) {
+	err := run([]string{"-duration", "60s", "-sleep", "3s", "-scheme", "jit", "-v"})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}
+
+func TestRunRejectsBadScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Error("bad scheme should error")
+	}
+}
+
+func TestRunRejectsBadProfiler(t *testing.T) {
+	if err := run([]string{"-profiler", "bogus"}); err == nil {
+		t.Error("bad profiler should error")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-fresh", "10s", "-period", "2s"}); err == nil {
+		t.Error("freshness above period should error")
+	}
+}

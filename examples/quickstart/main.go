@@ -1,0 +1,39 @@
+// Quickstart: run a paper-default MobiQuery session and print the headline
+// metrics. This is the smallest possible use of the public API.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mobiquery"
+)
+
+func main() {
+	sim := mobiquery.DefaultSimulation()
+	sim.Duration = 120 * time.Second // trim the paper's 400 s for a demo
+	sim.Lifetime = 116 * time.Second
+	sim.SleepPeriod = 9 * time.Second
+
+	fmt.Println("MobiQuery quickstart: walking user, 200 nodes, 9s sleep period")
+	res := mobiquery.Run(sim)
+
+	fmt.Printf("query periods     %d\n", len(res.Queries))
+	fmt.Printf("success ratio     %.1f%%  (on-time with >=95%% fidelity)\n", res.SuccessRatio*100)
+	fmt.Printf("mean fidelity     %.1f%%\n", res.MeanFidelity*100)
+	fmt.Printf("backbone nodes    %d\n", res.BackboneNodes)
+	fmt.Printf("sleeper power     %.3f W\n", res.PowerPerSleepingNode)
+	fmt.Printf("prefetch length   %d trees ahead (eq.12 bound: %d)\n",
+		res.MaxPrefetchLength,
+		mobiquery.JITStorageBound(sim.SleepPeriod, sim.Freshness, sim.Period))
+
+	fmt.Println("\nfirst ten query periods:")
+	for _, q := range res.Queries[:10] {
+		status := "ok"
+		if !q.Success {
+			status = "miss"
+		}
+		fmt.Printf("  k=%-2d  fidelity %5.1f%%  %d/%d nodes  %s\n",
+			q.K, q.Fidelity*100, q.Contributors, q.AreaNodes, status)
+	}
+}

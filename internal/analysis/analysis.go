@@ -1,0 +1,183 @@
+// Package analysis implements the closed-form results of the paper's
+// Section 5: the just-in-time prefetch forwarding time (eq. 10), storage
+// cost of greedy vs. just-in-time prefetching (eqs. 11-13), the warmup
+// interval bound (eq. 16), and the network contention analysis (eqs. 17-18
+// and the v* speed threshold). The experiment harness cross-checks these
+// formulas against simulation.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// QueryParams bundles the quantities the Section 5 formulas share.
+type QueryParams struct {
+	Period time.Duration // Tperiod
+	Fresh  time.Duration // Tfresh
+	Sleep  time.Duration // Tsleep
+}
+
+// Validate reports parameter errors.
+func (q QueryParams) Validate() error {
+	if q.Period <= 0 || q.Fresh <= 0 || q.Sleep <= 0 {
+		return fmt.Errorf("analysis: Period, Fresh, Sleep must all be positive")
+	}
+	return nil
+}
+
+// PrefetchForwardTime returns the equation (10) upper bound on when the
+// (k-1)th collector must forward the prefetch message, relative to the
+// query issue time: (k-1)*Tperiod - Tsleep - 2*Tfresh.
+func PrefetchForwardTime(q QueryParams, k int) time.Duration {
+	return time.Duration(k-1)*q.Period - q.Sleep - 2*q.Fresh
+}
+
+// PrefetchSpeed returns vprfh in meters/second for a prefetch hop of the
+// given distance, hop count, message size (bytes) and effective bandwidth
+// (bits/second) — the Section 5.2 estimate.
+func PrefetchSpeed(distanceM float64, hops int, messageBytes int, effectiveBandwidth float64) float64 {
+	if distanceM <= 0 || hops <= 0 || messageBytes <= 0 || effectiveBandwidth <= 0 {
+		panic("analysis: PrefetchSpeed arguments must be positive")
+	}
+	perHop := float64(messageBytes*8) / effectiveBandwidth // seconds
+	return distanceM / (float64(hops) * perHop)
+}
+
+// MetersPerSecondToMPH converts m/s to miles per hour, the unit the paper
+// quotes for vprfh and v*.
+func MetersPerSecondToMPH(ms float64) float64 { return ms * 3600 / 1609.344 }
+
+// StorageGreedy returns PLgp, the worst-case number of query trees set up
+// ahead of the user under greedy prefetching (eq. 11).
+func StorageGreedy(q QueryParams, lifetime time.Duration, userSpeed, prefetchSpeed float64) int {
+	if userSpeed <= 0 || prefetchSpeed <= 0 {
+		panic("analysis: speeds must be positive")
+	}
+	total := int(lifetime / q.Period)
+	visited := int(float64(lifetime/q.Period) * userSpeed / prefetchSpeed)
+	return total - visited
+}
+
+// StorageJIT returns PLjit, the constant number of query trees set up ahead
+// of the user under just-in-time prefetching (eq. 12):
+// ceil((Tsleep + 2*Tfresh)/Tperiod) + 1.
+func StorageJIT(q QueryParams) int {
+	return int(math.Ceil(float64(q.Sleep+2*q.Fresh)/float64(q.Period))) + 1
+}
+
+// StorageCrossover returns the minimum query lifetime Td beyond which
+// greedy prefetching stores more than just-in-time prefetching (eq. 13).
+func StorageCrossover(q QueryParams, userSpeed, prefetchSpeed float64) time.Duration {
+	if userSpeed <= 0 || prefetchSpeed <= 0 || userSpeed >= prefetchSpeed {
+		panic("analysis: need 0 < userSpeed < prefetchSpeed")
+	}
+	num := float64(q.Sleep + 2*q.Fresh + q.Period)
+	return time.Duration(num / (1 - userSpeed/prefetchSpeed))
+}
+
+// WarmupPeriods returns the equation (16) bound on the number of query
+// periods in the warmup interval after a motion profile with advance time
+// Ta is issued. Zero means no warmup.
+func WarmupPeriods(q QueryParams, ta time.Duration, userSpeed, prefetchSpeed float64) int {
+	if userSpeed <= 0 || prefetchSpeed <= 0 || userSpeed >= prefetchSpeed {
+		panic("analysis: need 0 < userSpeed < prefetchSpeed")
+	}
+	ratio := 1 - userSpeed/prefetchSpeed
+	num := float64(q.Sleep+2*q.Fresh) - ratio*float64(ta)
+	den := float64(q.Period) * ratio
+	k := int(math.Ceil(num / den))
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// WarmupInterval returns Tw = k*Tperiod per equation (16).
+func WarmupInterval(q QueryParams, ta time.Duration, userSpeed, prefetchSpeed float64) time.Duration {
+	return time.Duration(WarmupPeriods(q, ta, userSpeed, prefetchSpeed)) * q.Period
+}
+
+// WarmupZeroAdvance returns the advance time Ta at which the warmup
+// interval vanishes: (2*Tfresh + Tsleep)/(1 - vuser/vprfh).
+func WarmupZeroAdvance(q QueryParams, userSpeed, prefetchSpeed float64) time.Duration {
+	if userSpeed <= 0 || prefetchSpeed <= 0 || userSpeed >= prefetchSpeed {
+		panic("analysis: need 0 < userSpeed < prefetchSpeed")
+	}
+	return time.Duration(float64(2*q.Fresh+q.Sleep) / (1 - userSpeed/prefetchSpeed))
+}
+
+// ContentionParams extends QueryParams with the geometry of Section 5.4.
+type ContentionParams struct {
+	QueryParams
+	QueryRadius float64 // Rq
+	CommRange   float64 // Rc
+}
+
+// SpatialInterferers returns Ms (eq. 17): the number of trees whose roots
+// lie close enough to interfere with a given tree's setup.
+func (c ContentionParams) SpatialInterferers(userSpeed float64) int {
+	if userSpeed <= 0 {
+		panic("analysis: userSpeed must be positive")
+	}
+	return int(math.Ceil((4*c.QueryRadius + 2*c.CommRange) / (userSpeed * c.Period.Seconds())))
+}
+
+// TemporalInterferersGreedy returns the eq. (18) bound on Mt-gp: trees
+// whose setup overlaps in time under greedy prefetching.
+func (c ContentionParams) TemporalInterferersGreedy(userSpeed, prefetchSpeed float64) int {
+	if userSpeed <= 0 || prefetchSpeed <= 0 {
+		panic("analysis: speeds must be positive")
+	}
+	num := (c.Sleep + c.Fresh).Seconds() * prefetchSpeed
+	den := c.Period.Seconds() * userSpeed
+	return int(math.Ceil(num / den))
+}
+
+// TemporalInterferersJIT returns Mt-jit = ceil(Ttree/Tperiod) with the
+// paper's Ttree <= Tsleep + Tfresh bound.
+func (c ContentionParams) TemporalInterferersJIT() int {
+	return int(math.Ceil(float64(c.Sleep+c.Fresh) / float64(c.Period)))
+}
+
+// InterferenceGreedy returns Mgp = min(Mt-gp, Ms).
+func (c ContentionParams) InterferenceGreedy(userSpeed, prefetchSpeed float64) int {
+	ms := c.SpatialInterferers(userSpeed)
+	mt := c.TemporalInterferersGreedy(userSpeed, prefetchSpeed)
+	if mt < ms {
+		return mt
+	}
+	return ms
+}
+
+// InterferenceJIT returns Mjit = min(Mt-jit, Ms).
+func (c ContentionParams) InterferenceJIT(userSpeed float64) int {
+	ms := c.SpatialInterferers(userSpeed)
+	mt := c.TemporalInterferersJIT()
+	if mt < ms {
+		return mt
+	}
+	return ms
+}
+
+// CriticalSpeed returns v* = (2*Rc + 4*Rq)/(Tsleep + Tfresh) in m/s: below
+// it just-in-time prefetching has strictly lower contention than greedy
+// (Section 5.4's case analysis).
+func (c ContentionParams) CriticalSpeed() float64 {
+	return (2*c.CommRange + 4*c.QueryRadius) / (c.Sleep + c.Fresh).Seconds()
+}
+
+// ContentionRegime classifies the Section 5.4 case analysis for the given
+// speeds, returning a short human-readable verdict.
+func (c ContentionParams) ContentionRegime(userSpeed, prefetchSpeed float64) string {
+	vstar := c.CriticalSpeed()
+	switch {
+	case userSpeed > vstar:
+		return "user faster than v*: JIT and greedy contention equal (both spatially limited)"
+	case prefetchSpeed > vstar:
+		return "user below v*: JIT contention strictly lower (temporally limited) than greedy (spatially limited)"
+	default:
+		return "prefetch speed below v*: JIT temporally limited, greedy temporally limited, JIT still lower"
+	}
+}

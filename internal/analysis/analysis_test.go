@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// sec is a shorthand for durations in seconds.
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// paperStorageParams are the Section 5.2 worked example: a human walking at
+// 4 m/s, query every 10 s for 600 s, Tfresh 5 s, Tsleep 15 s.
+func paperStorageParams() QueryParams {
+	return QueryParams{Period: 10 * time.Second, Fresh: 5 * time.Second, Sleep: 15 * time.Second}
+}
+
+func TestPrefetchForwardTime(t *testing.T) {
+	q := QueryParams{Period: 2 * time.Second, Fresh: time.Second, Sleep: 15 * time.Second}
+	// Equation (10): tsend(k-1) <= (k-1)*2 - 15 - 2.
+	if got := PrefetchForwardTime(q, 10); got != sec(18-17) {
+		t.Errorf("PrefetchForwardTime(10) = %v, want 1s", got)
+	}
+	if got := PrefetchForwardTime(q, 1); got != sec(-17) {
+		t.Errorf("PrefetchForwardTime(1) = %v, want -17s (warmup)", got)
+	}
+}
+
+func TestPrefetchSpeedPaperExample(t *testing.T) {
+	// Section 5.2: 100 m, 5 hops, 60-byte message, 5 kbps effective
+	// bandwidth: vprfh ~ 469 mph.
+	v := PrefetchSpeed(100, 5, 60, 5000)
+	mph := MetersPerSecondToMPH(v)
+	if math.Abs(mph-466) > 10 {
+		t.Errorf("vprfh = %.0f mph, paper quotes ~469 mph", mph)
+	}
+}
+
+func TestStorageJITPaperExample(t *testing.T) {
+	// Section 5.2: Tsleep=15, Tfresh=5, Tperiod=10 -> PLjit = ceil(25/10)+1 = 4.
+	if got := StorageJIT(paperStorageParams()); got != 4 {
+		t.Errorf("PLjit = %d, want 4 (paper example)", got)
+	}
+}
+
+func TestStorageJITEvaluationSettings(t *testing.T) {
+	// The evaluation settings: Tperiod=2s, Tfresh=1s.
+	tests := []struct {
+		sleep time.Duration
+		want  int
+	}{
+		{3 * time.Second, 4},
+		{9 * time.Second, 7},
+		{15 * time.Second, 10},
+	}
+	for _, tt := range tests {
+		q := QueryParams{Period: 2 * time.Second, Fresh: time.Second, Sleep: tt.sleep}
+		if got := StorageJIT(q); got != tt.want {
+			t.Errorf("PLjit(sleep=%v) = %d, want %d", tt.sleep, got, tt.want)
+		}
+	}
+}
+
+func TestStorageGreedyPaperExample(t *testing.T) {
+	// Section 5.2: 4 m/s user, 600 s query, vprfh >> vuser: PLgp ~ 58-60
+	// ("as high as 58"), i.e. nearly all 60 trees outstanding.
+	q := paperStorageParams()
+	vprfh := PrefetchSpeed(100, 5, 60, 5000) // ~210 m/s
+	got := StorageGreedy(q, 600*time.Second, 4, vprfh)
+	if got < 58 || got > 60 {
+		t.Errorf("PLgp = %d, paper quotes 58", got)
+	}
+	// The paper's storage ratio: about 14.5x JIT.
+	ratio := float64(got) / float64(StorageJIT(q))
+	if ratio < 14 || ratio > 15.1 {
+		t.Errorf("storage ratio = %.1f, paper quotes 14.5", ratio)
+	}
+}
+
+func TestStorageCrossover(t *testing.T) {
+	q := paperStorageParams()
+	vprfh := 210.0
+	td := StorageCrossover(q, 4, vprfh)
+	// Eq. (13): (15+10+10)/(1-4/210) ~ 35.7s.
+	if td < sec(35) || td > sec(37) {
+		t.Errorf("crossover Td = %v, want about 35.7s", td)
+	}
+	// Beyond the crossover, greedy stores more.
+	if gp := StorageGreedy(q, 600*time.Second, 4, vprfh); gp <= StorageJIT(q) {
+		t.Errorf("beyond crossover greedy (%d) should exceed JIT (%d)", gp, StorageJIT(q))
+	}
+}
+
+func TestWarmupBoundPaperApproximation(t *testing.T) {
+	// Section 5.3: with vprfh >> vuser, Tw ~ Tsleep + 2*Tfresh - Ta.
+	q := QueryParams{Period: 2 * time.Second, Fresh: time.Second, Sleep: 9 * time.Second}
+	for _, ta := range []time.Duration{-8 * time.Second, 0, 6 * time.Second} {
+		tw := WarmupInterval(q, ta, 4, 200)
+		approx := q.Sleep + 2*q.Fresh - ta
+		if diff := (tw - approx).Abs(); diff > q.Period {
+			t.Errorf("Ta=%v: Tw=%v vs approximation %v differ by more than one period", ta, tw, approx)
+		}
+	}
+}
+
+func TestWarmupZeroAtLargeAdvance(t *testing.T) {
+	q := QueryParams{Period: 2 * time.Second, Fresh: time.Second, Sleep: 9 * time.Second}
+	zero := WarmupZeroAdvance(q, 4, 200)
+	// Paper: "about 11 seconds for a sleep period of 9 seconds".
+	if zero < sec(11) || zero > sec(11.5) {
+		t.Errorf("zero-warmup Ta = %v, paper quotes about 11s", zero)
+	}
+	if k := WarmupPeriods(q, zero+time.Second, 4, 200); k != 0 {
+		t.Errorf("warmup with Ta beyond threshold = %d periods, want 0", k)
+	}
+	if k := WarmupPeriods(q, -8*time.Second, 4, 200); k <= 0 {
+		t.Errorf("negative Ta must give positive warmup, got %d", k)
+	}
+}
+
+func TestWarmupMonotoneInTa(t *testing.T) {
+	q := QueryParams{Period: 2 * time.Second, Fresh: time.Second, Sleep: 15 * time.Second}
+	prev := math.MaxInt
+	for ta := -10; ta <= 20; ta += 2 {
+		k := WarmupPeriods(q, time.Duration(ta)*time.Second, 4, 200)
+		if k > prev {
+			t.Fatalf("warmup not monotone: Ta=%ds gives %d > previous %d", ta, k, prev)
+		}
+		prev = k
+	}
+}
+
+// paperContention is the Section 5.4 worked example: Rc=50, Rq=150,
+// Tsleep=9s, Tfresh=3s, Tperiod=5s.
+func paperContention() ContentionParams {
+	return ContentionParams{
+		QueryParams: QueryParams{Period: 5 * time.Second, Fresh: 3 * time.Second, Sleep: 9 * time.Second},
+		QueryRadius: 150,
+		CommRange:   50,
+	}
+}
+
+func TestCriticalSpeedPaperExample(t *testing.T) {
+	// v* = (2*50 + 4*150)/(9+3) = 58.33 m/s ~ 131 mph.
+	c := paperContention()
+	mph := MetersPerSecondToMPH(c.CriticalSpeed())
+	if math.Abs(mph-130.5) > 2 {
+		t.Errorf("v* = %.1f mph, paper quotes ~131 mph", mph)
+	}
+}
+
+func TestInterferencePaperExample(t *testing.T) {
+	// Paper: walking at 4 m/s with query every 5s: about 4 interfering
+	// trees under JIT, 35 under greedy.
+	c := paperContention()
+	jit := c.InterferenceJIT(4)
+	if jit < 3 || jit > 4 {
+		t.Errorf("Mjit = %d, paper quotes about 4", jit)
+	}
+	gp := c.InterferenceGreedy(4, 200)
+	if gp < 30 || gp > 40 {
+		t.Errorf("Mgp = %d, paper quotes about 35", gp)
+	}
+	if jit >= gp {
+		t.Errorf("JIT interference (%d) must be below greedy (%d) for walking users", jit, gp)
+	}
+}
+
+func TestInterferenceEqualAboveCriticalSpeed(t *testing.T) {
+	c := paperContention()
+	fast := c.CriticalSpeed() * 1.5
+	// Above v* both schemes hit the spatial limit Ms.
+	if c.InterferenceJIT(fast) != c.InterferenceGreedy(fast, fast*10) {
+		t.Error("above v*, JIT and greedy interference should coincide")
+	}
+}
+
+func TestContentionRegime(t *testing.T) {
+	c := paperContention()
+	if got := c.ContentionRegime(4, 200); got == "" || got[0:4] != "user" {
+		t.Errorf("regime for walking user = %q", got)
+	}
+	fast := c.CriticalSpeed() * 2
+	if got := c.ContentionRegime(fast, fast*10); got == "" {
+		t.Error("regime for fast user empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (QueryParams{}).Validate(); err == nil {
+		t.Error("zero params should fail validation")
+	}
+	if err := paperStorageParams().Validate(); err != nil {
+		t.Errorf("paper params invalid: %v", err)
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	q := paperStorageParams()
+	mustPanic("PrefetchSpeed", func() { PrefetchSpeed(0, 5, 60, 5000) })
+	mustPanic("StorageGreedy", func() { StorageGreedy(q, time.Minute, 0, 10) })
+	mustPanic("StorageCrossover", func() { StorageCrossover(q, 10, 5) })
+	mustPanic("WarmupPeriods", func() { WarmupPeriods(q, 0, 5, 5) })
+	mustPanic("SpatialInterferers", func() { paperContention().SpatialInterferers(0) })
+}

@@ -1,0 +1,337 @@
+// Package ccp implements a Coverage Configuration Protocol in the spirit of
+// Wang et al. (SenSys 2003), which the paper uses as its power management
+// substrate. CCP selects a subset of nodes to stay active (the backbone)
+// such that the deployment region remains sensing-covered; the remaining
+// nodes may duty-cycle.
+//
+// Because the paper's setting satisfies Rc >= 2*Rs (105 m >= 2*50 m),
+// sensing coverage implies communication connectivity of the active set
+// (CCP's main theorem). This implementation checks the node-disk coverage
+// eligibility rule at sampled points rather than at exact disk intersection
+// points — an approximation — and therefore runs two safety-net repair
+// passes afterwards: a region-grid coverage patch and a connectivity patch.
+package ccp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiquery/internal/geom"
+)
+
+// Config holds the coverage protocol's parameters.
+type Config struct {
+	// SensingRange is each node's sensing radius Rs (paper: 50 m).
+	SensingRange float64
+	// CommRange is the communication radius Rc (paper: 105 m).
+	CommRange float64
+	// PerimeterSamples is the number of points sampled on a node's sensing
+	// perimeter for the eligibility check.
+	PerimeterSamples int
+	// GridStep is the sample spacing for the global coverage repair pass.
+	GridStep float64
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{SensingRange: 50, CommRange: 105, PerimeterSamples: 16, GridStep: 15}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SensingRange <= 0:
+		return fmt.Errorf("ccp: SensingRange must be positive")
+	case c.CommRange <= 0:
+		return fmt.Errorf("ccp: CommRange must be positive")
+	case c.PerimeterSamples < 4:
+		return fmt.Errorf("ccp: PerimeterSamples must be at least 4")
+	case c.GridStep <= 0:
+		return fmt.Errorf("ccp: GridStep must be positive")
+	}
+	return nil
+}
+
+// Result describes a backbone selection.
+type Result struct {
+	// Active[i] reports whether node i must stay always-on.
+	Active []bool
+	// NumActive is the backbone size.
+	NumActive int
+	// CoverageRepairs counts nodes re-activated by the global coverage
+	// patch (0 when the eligibility pass alone sufficed).
+	CoverageRepairs int
+	// ConnectivityRepairs counts nodes activated to reconnect components.
+	ConnectivityRepairs int
+}
+
+// Select computes the active backbone for the given node positions. The rng
+// determines the (deterministic, seed-dependent) withdrawal order, matching
+// CCP's randomized back-off timers.
+func Select(region geom.Rect, positions []geom.Point, cfg Config, rng *rand.Rand) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := len(positions)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	res := Result{Active: active}
+	if n == 0 {
+		return res
+	}
+
+	// Withdrawal pass: in random order, each node sleeps if its sensing
+	// disk is covered by the remaining active nodes.
+	order := rng.Perm(n)
+	grid := geom.NewGrid(region, cfg.SensingRange)
+	for i, p := range positions {
+		grid.Insert(int32(i), p)
+	}
+	var buf []int32
+	for _, i := range order {
+		if diskCovered(i, positions, active, region, cfg, grid, &buf) {
+			active[i] = false
+		}
+	}
+
+	// Coverage repair: every grid sample point coverable by some node must
+	// be covered by an active node.
+	res.CoverageRepairs = repairCoverage(region, positions, active, cfg, grid, &buf)
+
+	// Connectivity repair: with Rc >= 2*Rs this should be a no-op, but the
+	// sampled eligibility rule can leave rare corner gaps.
+	res.ConnectivityRepairs = repairConnectivity(positions, active, cfg)
+
+	for _, a := range active {
+		if a {
+			res.NumActive++
+		}
+	}
+	return res
+}
+
+// diskCovered reports whether node i's sensing disk (clipped to the region)
+// is covered by the sensing disks of other active nodes. Coverage is tested
+// at the disk center and at sampled perimeter points.
+func diskCovered(i int, positions []geom.Point, active []bool, region geom.Rect, cfg Config, grid *geom.Grid, buf *[]int32) bool {
+	p := positions[i]
+	// Candidate coverers: active nodes within 2*Rs of p.
+	*buf = grid.Within((*buf)[:0], p, 2*cfg.SensingRange)
+	cands := (*buf)[:0]
+	for _, id := range *buf {
+		if int(id) != i && active[id] {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	covered := func(q geom.Point) bool {
+		for _, id := range cands {
+			if positions[id].Within(q, cfg.SensingRange) {
+				return true
+			}
+		}
+		return false
+	}
+	if !covered(p) {
+		return false
+	}
+	for k := 0; k < cfg.PerimeterSamples; k++ {
+		theta := 2 * math.Pi * float64(k) / float64(cfg.PerimeterSamples)
+		q := p.Add(geom.FromAngle(theta).Scale(cfg.SensingRange * 0.999))
+		if !region.Contains(q) {
+			continue // points outside the region need no coverage
+		}
+		if !covered(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// repairCoverage re-activates nodes until every coverable grid sample point
+// is covered, returning the number of re-activations.
+func repairCoverage(region geom.Rect, positions []geom.Point, active []bool, cfg Config, grid *geom.Grid, buf *[]int32) int {
+	repairs := 0
+	for x := region.MinX + cfg.GridStep/2; x <= region.MaxX; x += cfg.GridStep {
+		for y := region.MinY + cfg.GridStep/2; y <= region.MaxY; y += cfg.GridStep {
+			q := geom.Pt(x, y)
+			*buf = grid.Within((*buf)[:0], q, cfg.SensingRange)
+			if len(*buf) == 0 {
+				continue // deployment hole: nobody can cover this point
+			}
+			coveredBy := -1
+			bestInactive := -1
+			bestDist := math.MaxFloat64
+			for _, id := range *buf {
+				if active[id] {
+					coveredBy = int(id)
+					break
+				}
+				if d := positions[id].Dist2(q); d < bestDist {
+					bestInactive, bestDist = int(id), d
+				}
+			}
+			if coveredBy < 0 {
+				active[bestInactive] = true
+				repairs++
+			}
+		}
+	}
+	return repairs
+}
+
+// repairConnectivity activates additional nodes until the active set forms
+// a single connected component under the communication range, returning the
+// number of activations. It gives up (leaving the network partitioned) only
+// when no inactive node can reduce the gap, which cannot happen for
+// deployments dense enough to be covered.
+func repairConnectivity(positions []geom.Point, active []bool, cfg Config) int {
+	repairs := 0
+	for {
+		comp := components(positions, active, cfg.CommRange)
+		if comp.count <= 1 {
+			return repairs
+		}
+		// Closest pair of active nodes across two different components.
+		bestA, bestB := -1, -1
+		bestDist := math.MaxFloat64
+		for i := range positions {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < len(positions); j++ {
+				if !active[j] || comp.id[i] == comp.id[j] {
+					continue
+				}
+				if d := positions[i].Dist2(positions[j]); d < bestDist {
+					bestA, bestB, bestDist = i, j, d
+				}
+			}
+		}
+		if bestA < 0 {
+			return repairs
+		}
+		// Activate the inactive node that best bridges the gap.
+		bridge := -1
+		bridgeScore := math.MaxFloat64
+		for i := range positions {
+			if active[i] {
+				continue
+			}
+			score := positions[i].Dist(positions[bestA]) + positions[i].Dist(positions[bestB])
+			if score < bridgeScore {
+				bridge, bridgeScore = i, score
+			}
+		}
+		if bridge < 0 {
+			return repairs // nothing left to activate
+		}
+		active[bridge] = true
+		repairs++
+	}
+}
+
+// componentSet labels nodes with connected-component ids.
+type componentSet struct {
+	id    []int
+	count int
+}
+
+// components computes connected components of the active nodes under the
+// given communication range.
+func components(positions []geom.Point, active []bool, commRange float64) componentSet {
+	n := len(positions)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if !active[j] {
+				continue
+			}
+			if positions[i].Within(positions[j], commRange) {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	cs := componentSet{id: make([]int, n)}
+	seen := make(map[int]int)
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			cs.id[i] = -1
+			continue
+		}
+		root := find(i)
+		label, ok := seen[root]
+		if !ok {
+			label = cs.count
+			seen[root] = label
+			cs.count++
+		}
+		cs.id[i] = label
+	}
+	return cs
+}
+
+// Verify checks that the active selection covers every coverable grid point
+// of the region and forms a connected communication graph. It returns nil
+// when both invariants hold.
+func Verify(region geom.Rect, positions []geom.Point, active []bool, cfg Config) error {
+	if len(active) != len(positions) {
+		return fmt.Errorf("ccp: active mask length %d != positions %d", len(active), len(positions))
+	}
+	grid := geom.NewGrid(region, cfg.SensingRange)
+	for i, p := range positions {
+		grid.Insert(int32(i), p)
+	}
+	var buf []int32
+	for x := region.MinX + cfg.GridStep/2; x <= region.MaxX; x += cfg.GridStep {
+		for y := region.MinY + cfg.GridStep/2; y <= region.MaxY; y += cfg.GridStep {
+			q := geom.Pt(x, y)
+			buf = grid.Within(buf[:0], q, cfg.SensingRange)
+			if len(buf) == 0 {
+				continue
+			}
+			ok := false
+			for _, id := range buf {
+				if active[id] {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return fmt.Errorf("ccp: point %v uncovered by active set", q)
+			}
+		}
+	}
+	anyActive := false
+	for _, a := range active {
+		if a {
+			anyActive = true
+			break
+		}
+	}
+	if anyActive {
+		if c := components(positions, active, cfg.CommRange); c.count > 1 {
+			return fmt.Errorf("ccp: active set has %d components, want 1", c.count)
+		}
+	}
+	return nil
+}

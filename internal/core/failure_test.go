@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mobiquery/internal/geom"
+	"mobiquery/internal/mobility"
+	"mobiquery/internal/radio"
+	"mobiquery/internal/sim"
+)
+
+// failNode powers a node's radio off permanently, retrying around in-flight
+// transmissions — crash-style failure injection.
+func failNode(eng *sim.Engine, r *rig, id radio.NodeID, at sim.Time) {
+	var try func()
+	try = func() {
+		rad := r.nw.Node(id).MAC().Radio()
+		if rad.Transmitting() {
+			eng.After(10*time.Millisecond, try)
+			return
+		}
+		rad.SetOn(false)
+	}
+	eng.Schedule(at, try)
+}
+
+// TestBackboneNodeFailuresDegradeGracefully kills several backbone nodes
+// mid-session. The protocol must neither panic nor stop delivering; the
+// report fallbacks and anycast rerouting absorb the losses.
+func TestBackboneNodeFailuresDegradeGracefully(t *testing.T) {
+	course := stationaryCourse(geom.Pt(220, 220))
+	r := buildRig(t, SchemeJIT, course, mobility.OracleProfiler{Course: course}, 3*time.Second, 36*time.Second, Hooks{})
+
+	// Kill three backbone grid nodes near the query area at 15 s.
+	for i, id := range []radio.NodeID{6, 7, 11} {
+		failNode(r.eng, r, id, sec(15)+sim.Time(i)*sec(0.2))
+	}
+	r.eng.Run(42 * time.Second)
+
+	received := 0
+	for _, pr := range r.svc.Results() {
+		if pr.K <= 8 { // pre-failure periods
+			continue
+		}
+		if pr.Received && pr.OnTime {
+			received++
+		}
+	}
+	if received < 7 {
+		t.Errorf("only %d/10 post-failure periods delivered; failures should degrade, not destroy", received)
+	}
+}
+
+// TestLeafFailuresOnlyCostFidelity kills duty-cycled leaves: results keep
+// flowing and only their own contributions disappear.
+func TestLeafFailuresOnlyCostFidelity(t *testing.T) {
+	course := stationaryCourse(geom.Pt(220, 220))
+	r := buildRig(t, SchemeJIT, course, mobility.OracleProfiler{Course: course}, 3*time.Second, 30*time.Second, Hooks{})
+
+	// Leaves occupy ids 25.. in the rig layout (after the 5x5 backbone).
+	for i := radio.NodeID(25); i < 29; i++ {
+		failNode(r.eng, r, i, sec(12))
+	}
+	r.eng.Run(36 * time.Second)
+
+	for _, pr := range r.svc.Results() {
+		if pr.K > 7 && (!pr.Received || !pr.OnTime) {
+			t.Errorf("k=%d lost entirely after leaf failures", pr.K)
+		}
+	}
+}
+
+// TestProxyOutOfFieldStillServed drives the user outside the deployment:
+// results must still be produced for areas straddling the boundary (the
+// collector is simply the nearest reachable node).
+func TestProxyOutOfFieldStillServed(t *testing.T) {
+	// User walks off the east edge of the backbone grid.
+	path := mobility.LinearPath(geom.Pt(300, 220), geom.V(5, 0), 0, sec(30))
+	course := mobility.Course{Trajectory: path}
+	r := buildRig(t, SchemeJIT, course, mobility.OracleProfiler{Course: course}, 3*time.Second, 24*time.Second, Hooks{})
+	r.eng.Run(30 * time.Second)
+
+	received := 0
+	for _, pr := range r.svc.Results() {
+		if pr.Received {
+			received++
+		}
+	}
+	if received < 6 {
+		t.Errorf("only %d periods delivered while skirting the field edge", received)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mobiquery/internal/field"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/mac"
+	"mobiquery/internal/mobility"
+	"mobiquery/internal/netstack"
+	"mobiquery/internal/radio"
+	"mobiquery/internal/sim"
+)
+
+// buildMultiRig assembles the grid network with two proxies whose queries
+// run concurrently.
+func buildMultiRig(t *testing.T) (*sim.Engine, *Service) {
+	t.Helper()
+	eng := sim.NewEngine(11)
+	nw := netstack.NewNetwork(eng, geom.Square(450), radio.DefaultParams(), mac.DefaultConfig(3*time.Second))
+	id := radio.NodeID(0)
+	for y := 60.0; y <= 380; y += 80 {
+		for x := 60.0; x <= 380; x += 80 {
+			nw.AddNode(id, geom.Pt(x, y), mac.RoleAlwaysOn)
+			id++
+		}
+	}
+	for y := 100.0; y <= 340; y += 80 {
+		for x := 100.0; x <= 340; x += 80 {
+			nw.AddNode(id, geom.Pt(x, y), mac.RoleDutyCycled)
+			id++
+		}
+	}
+	courseA := mobility.Course{Trajectory: mobility.LinearPath(geom.Pt(100, 150), geom.V(4, 0), 0, 40*time.Second)}
+	courseB := mobility.Course{Trajectory: mobility.LinearPath(geom.Pt(340, 300), geom.V(-4, 0), 0, 40*time.Second)}
+	proxyA := id
+	nw.AddProxy(proxyA, courseA.PosAt(0))
+	proxyB := proxyA + 1
+	nw.AddProxy(proxyB, courseB.PosAt(0))
+
+	spec := validSpec()
+	spec.Lifetime = 30 * time.Second
+	cfg := DefaultConfig(spec)
+	svc := NewService(nw, cfg, field.Uniform{Value: 20}, Hooks{})
+	svc.AddUser(1, SchemeJIT, spec, courseA, mobility.OracleProfiler{Course: courseA}, proxyA)
+	svc.AddUser(2, SchemeJIT, spec, courseB, mobility.OracleProfiler{Course: courseB}, proxyB)
+	nw.Start()
+	svc.Start()
+	return eng, svc
+}
+
+// TestTwoConcurrentUsers runs two users with crossing paths: both must
+// receive on-time results, and their result streams must stay separated by
+// query id.
+func TestTwoConcurrentUsers(t *testing.T) {
+	eng, svc := buildMultiRig(t)
+	eng.Run(36 * time.Second)
+
+	for _, qid := range []uint32{1, 2} {
+		results := svc.ResultsFor(qid)
+		if len(results) != 15 {
+			t.Fatalf("query %d: %d results, want 15", qid, len(results))
+		}
+		good := 0
+		for _, pr := range results {
+			if pr.Received && pr.OnTime && pr.Data.Count > 0 {
+				good++
+			}
+		}
+		if good < 12 {
+			t.Errorf("query %d: only %d/15 on-time periods under concurrency", qid, good)
+		}
+	}
+	if svc.ResultsFor(99) != nil {
+		t.Error("unknown query id should yield nil")
+	}
+}
+
+func TestResultsPanicsWithMultipleUsers(t *testing.T) {
+	_, svc := buildMultiRig(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Results with two users should panic")
+		}
+	}()
+	svc.Results()
+}
+
+func TestAddUserValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netstack.NewNetwork(eng, geom.Square(450), radio.DefaultParams(), mac.DefaultConfig(3*time.Second))
+	nw.AddNode(0, geom.Pt(10, 10), mac.RoleAlwaysOn)
+	nw.AddProxy(1, geom.Pt(20, 20))
+	course := stationaryCourse(geom.Pt(100, 100))
+	spec := validSpec()
+	svc := NewService(nw, DefaultConfig(spec), field.Uniform{}, Hooks{})
+	svc.AddUser(1, SchemeJIT, spec, course, mobility.OracleProfiler{Course: course}, 1)
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate query id", func() {
+		svc.AddUser(1, SchemeJIT, spec, course, mobility.OracleProfiler{Course: course}, 1)
+	})
+	mustPanic("unknown proxy", func() {
+		svc.AddUser(2, SchemeJIT, spec, course, mobility.OracleProfiler{Course: course}, 42)
+	})
+	mustPanic("bad spec", func() {
+		bad := spec
+		bad.Radius = 0
+		svc.AddUser(3, SchemeJIT, bad, course, mobility.OracleProfiler{Course: course}, 1)
+	})
+}
+
+func TestStartWithoutUsersPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netstack.NewNetwork(eng, geom.Square(450), radio.DefaultParams(), mac.DefaultConfig(3*time.Second))
+	nw.AddNode(0, geom.Pt(10, 10), mac.RoleAlwaysOn)
+	svc := NewService(nw, DefaultConfig(validSpec()), field.Uniform{}, Hooks{})
+	nw.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("Start without users should panic")
+		}
+	}()
+	svc.Start()
+}
+
+// TestMixedSchemesPerUser runs a JIT user and an NP user side by side: the
+// JIT user must clearly outperform the NP user in the same network.
+func TestMixedSchemesPerUser(t *testing.T) {
+	eng := sim.NewEngine(13)
+	nw := netstack.NewNetwork(eng, geom.Square(450), radio.DefaultParams(), mac.DefaultConfig(9*time.Second))
+	id := radio.NodeID(0)
+	for y := 60.0; y <= 380; y += 80 {
+		for x := 60.0; x <= 380; x += 80 {
+			nw.AddNode(id, geom.Pt(x, y), mac.RoleAlwaysOn)
+			id++
+		}
+	}
+	for y := 100.0; y <= 340; y += 80 {
+		for x := 100.0; x <= 340; x += 80 {
+			nw.AddNode(id, geom.Pt(x, y), mac.RoleDutyCycled)
+			id++
+		}
+	}
+	courseA := mobility.Course{Trajectory: mobility.LinearPath(geom.Pt(100, 150), geom.V(4, 0), 0, 60*time.Second)}
+	courseB := mobility.Course{Trajectory: mobility.LinearPath(geom.Pt(340, 300), geom.V(-4, 0), 0, 60*time.Second)}
+	pa := id
+	nw.AddProxy(pa, courseA.PosAt(0))
+	pb := pa + 1
+	nw.AddProxy(pb, courseB.PosAt(0))
+
+	spec := validSpec()
+	spec.Lifetime = 50 * time.Second
+	svc := NewService(nw, DefaultConfig(spec), field.Uniform{Value: 20}, Hooks{})
+	svc.AddUser(1, SchemeJIT, spec, courseA, mobility.OracleProfiler{Course: courseA}, pa)
+	svc.AddUser(2, SchemeNP, spec, courseB, mobility.OracleProfiler{Course: courseB}, pb)
+	nw.Start()
+	svc.Start()
+	eng.Run(56 * time.Second)
+
+	count := func(qid uint32) int {
+		full := 0
+		for _, pr := range svc.ResultsFor(qid) {
+			if pr.Received && pr.OnTime && pr.Data.Count >= 15 {
+				full++
+			}
+		}
+		return full
+	}
+	jit, np := count(1), count(2)
+	if jit <= np {
+		t.Errorf("JIT user (%d full periods) should beat NP user (%d) in the same network", jit, np)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mobiquery/internal/field"
+	"mobiquery/internal/mac"
+	"mobiquery/internal/mobility"
+	"mobiquery/internal/netstack"
+	"mobiquery/internal/radio"
+	"mobiquery/internal/sim"
+)
+
+// Scheme selects the prefetching strategy.
+type Scheme int
+
+const (
+	// SchemeJIT is just-in-time prefetching: each collector holds the
+	// prefetch message until the equation (10) bound.
+	SchemeJIT Scheme = iota + 1
+	// SchemeGP is greedy prefetching: forward immediately.
+	SchemeGP
+	// SchemeNP is the No-Prefetching baseline: the user floods the query at
+	// each period start.
+	SchemeNP
+)
+
+// String returns the scheme's evaluation label (MQ-JIT, MQ-GP, NP).
+func (s Scheme) String() string {
+	switch s {
+	case SchemeJIT:
+		return "MQ-JIT"
+	case SchemeGP:
+		return "MQ-GP"
+	case SchemeNP:
+		return "NP"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config parameterizes a MobiQuery service instance.
+type Config struct {
+	// QueryID labels the single query session of this service.
+	QueryID uint32
+	// Spec is the spatiotemporal query specification.
+	Spec QuerySpec
+	// Scheme selects JIT, GP, or NP.
+	Scheme Scheme
+	// T0 is the query issue time. A small offset (default 500 ms)
+	// de-synchronizes the query from the PSM schedule, as in a real
+	// deployment.
+	T0 sim.Time
+	// PickupRadius is Rp: anycast delivery radius around pickup points.
+	PickupRadius float64
+	// ScopeMargin extends the setup flood past Rq so boundary leaves have a
+	// recruiting router (default Rc/2).
+	ScopeMargin float64
+	// ForwardLead is a safety margin subtracted from the equation (10)
+	// just-in-time hold bound. It keeps prefetch forwarding (and the tree
+	// setup it triggers) clear of the collection burst at deadline-Tfresh.
+	ForwardLead time.Duration
+	// CollectorMargin is how long before the deadline the collector
+	// dispatches the result to the user.
+	CollectorMargin time.Duration
+	// FlushMargin is the minimum gap between a node's sample time and its
+	// sub-deadline flush.
+	FlushMargin time.Duration
+	// RecruitLead is the minimum time before a tree's sample instant for a
+	// recruit entry to still be worth broadcasting.
+	RecruitLead time.Duration
+	// LeafAwake is how long a recruited leaf stays awake past its sample
+	// time to deliver the report.
+	LeafAwake time.Duration
+	// TeardownGrace is how long after its deadline a tree's state persists.
+	TeardownGrace time.Duration
+	// MoveTick is the proxy position update granularity.
+	MoveTick time.Duration
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// evaluation for the given query spec.
+func DefaultConfig(spec QuerySpec) Config {
+	return Config{
+		QueryID:         1,
+		Spec:            spec,
+		Scheme:          SchemeJIT,
+		T0:              500 * time.Millisecond,
+		ForwardLead:     250 * time.Millisecond,
+		PickupRadius:    40,
+		ScopeMargin:     52.5, // Rc/2 with the default 105 m range
+		CollectorMargin: 30 * time.Millisecond,
+		FlushMargin:     150 * time.Millisecond,
+		RecruitLead:     20 * time.Millisecond,
+		LeafAwake:       250 * time.Millisecond,
+		TeardownGrace:   time.Second,
+		MoveTick:        100 * time.Millisecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Scheme < SchemeJIT || c.Scheme > SchemeNP:
+		return fmt.Errorf("core: invalid scheme %d", int(c.Scheme))
+	case c.PickupRadius <= 0:
+		return fmt.Errorf("core: pickup radius must be positive")
+	case c.ScopeMargin < 0:
+		return fmt.Errorf("core: scope margin must be non-negative")
+	case c.CollectorMargin <= 0 || c.CollectorMargin >= c.Spec.Fresh:
+		return fmt.Errorf("core: collector margin %v must be within (0, Tfresh)", c.CollectorMargin)
+	case c.FlushMargin <= c.CollectorMargin:
+		return fmt.Errorf("core: flush margin %v must exceed collector margin %v", c.FlushMargin, c.CollectorMargin)
+	case c.LeafAwake <= 0 || c.TeardownGrace <= 0 || c.MoveTick <= 0 || c.RecruitLead < 0:
+		return fmt.Errorf("core: durations must be positive")
+	case c.ForwardLead < 0:
+		return fmt.Errorf("core: forward lead must be non-negative")
+	}
+	return nil
+}
+
+// Hooks receive protocol events for metrics collection. Any field may be
+// nil.
+type Hooks struct {
+	// OnTreeUp fires when a node instantiates query-tree state for period k.
+	OnTreeUp func(node radio.NodeID, k int, at sim.Time)
+	// OnTreeDown fires when that state is released.
+	OnTreeDown func(node radio.NodeID, k int, at sim.Time)
+	// OnPrefetchForward fires when a prefetch message is forwarded from the
+	// collector of period fromK toward period toK's pickup point.
+	OnPrefetchForward func(fromK, toK int, at sim.Time)
+}
+
+// hookSet wraps Hooks with nil-safety.
+type hookSet struct{ h Hooks }
+
+func (hs hookSet) onTreeUp(n radio.NodeID, k int, at sim.Time) {
+	if hs.h.OnTreeUp != nil {
+		hs.h.OnTreeUp(n, k, at)
+	}
+}
+
+func (hs hookSet) onTreeDown(n radio.NodeID, k int, at sim.Time) {
+	if hs.h.OnTreeDown != nil {
+		hs.h.OnTreeDown(n, k, at)
+	}
+}
+
+func (hs hookSet) onPrefetchForward(fromK, toK int, at sim.Time) {
+	if hs.h.OnPrefetchForward != nil {
+		hs.h.OnPrefetchForward(fromK, toK, at)
+	}
+}
+
+// Debug counters for protocol diagnosis (aggregated across agents).
+type DebugCounters struct {
+	RecruitBcasts    uint64
+	LeafJoins        uint64
+	LeafReports      uint64
+	LeafReportFails  uint64
+	MemberFlushes    uint64
+	MemberFlushFails uint64
+	ReportsMerged    uint64
+	ReportsLate      uint64 // arrived after the parent flushed
+	ReportsNoTree    uint64 // arrived at a node without matching tree state
+	ReportFallbacks  uint64 // reports rerouted geographically after link failure
+}
+
+// Service wires MobiQuery agents onto every node of a network plus one
+// query gateway per mobile user. The single-user constructor New covers the
+// paper's evaluation; AddUser supports multiple concurrent users, each with
+// their own query, scheme and motion profiles.
+type Service struct {
+	eng      *sim.Engine
+	nw       *netstack.Network
+	cfg      Config
+	macCfg   mac.Config
+	field    field.Field
+	agents   map[radio.NodeID]*agent
+	gateways map[uint32]*Gateway
+	proxies  map[uint32]*netstack.Node
+	hooks    hookSet
+	started  bool
+	debug    DebugCounters
+}
+
+// Debug returns protocol diagnosis counters accumulated during the run.
+func (s *Service) Debug() DebugCounters { return s.debug }
+
+// New builds a MobiQuery service over an un-started network with a single
+// mobile user. proxyID must identify a node previously added with AddProxy;
+// every other node gets a sensor agent. Call Start after
+// netstack.Network.Start.
+func New(nw *netstack.Network, cfg Config, fld field.Field, course mobility.Course, profiler mobility.Profiler, proxyID radio.NodeID, hooks Hooks) *Service {
+	s := NewService(nw, cfg, fld, hooks)
+	s.AddUser(cfg.QueryID, cfg.Scheme, cfg.Spec, course, profiler, proxyID)
+	return s
+}
+
+// NewService builds a service with no users yet; cfg supplies the shared
+// protocol constants (margins, pickup radius, T0) and defaults for
+// AddUser. Register users with AddUser before Start.
+func NewService(nw *netstack.Network, cfg Config, fld field.Field, hooks Hooks) *Service {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Service{
+		eng:      nw.Engine(),
+		nw:       nw,
+		cfg:      cfg,
+		macCfg:   nw.MACConfig(),
+		field:    fld,
+		agents:   make(map[radio.NodeID]*agent),
+		gateways: make(map[uint32]*Gateway),
+		proxies:  make(map[uint32]*netstack.Node),
+		hooks:    hookSet{h: hooks},
+	}
+	for _, id := range nw.NodeIDs() {
+		s.agents[id] = newAgent(s, nw.Node(id), true)
+	}
+	return s
+}
+
+// AddUser registers a mobile user: a proxy node (added to the network with
+// AddProxy before NewService) issuing one query with the given scheme and
+// spec, following course with motion profiles from profiler. QueryIDs must
+// be unique. Must be called before Start.
+func (s *Service) AddUser(queryID uint32, scheme Scheme, spec QuerySpec, course mobility.Course, profiler mobility.Profiler, proxyID radio.NodeID) *Gateway {
+	if s.started {
+		panic("core: AddUser after Start")
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := s.gateways[queryID]; dup {
+		panic(fmt.Sprintf("core: duplicate query id %d", queryID))
+	}
+	proxy := s.nw.Node(proxyID)
+	if proxy == nil {
+		panic(fmt.Sprintf("core: proxy node %d not found", proxyID))
+	}
+	ag := s.agents[proxyID]
+	if ag == nil {
+		panic(fmt.Sprintf("core: proxy %d has no agent (added after NewService?)", proxyID))
+	}
+	ag.isSensor = false
+	g := newGateway(s, queryID, scheme, spec, course, profiler, proxy)
+	s.gateways[queryID] = g
+	s.proxies[queryID] = proxy
+	ag.resultSinks[queryID] = g.recordResult
+	if len(ag.resultSinks) == 1 {
+		proxy.Handle(portResult, func(_ radio.NodeID, body any) {
+			if msg, ok := body.(resultMsg); ok {
+				if sink := ag.resultSinks[msg.QueryID]; sink != nil {
+					sink(msg)
+				}
+			}
+		})
+	}
+	return g
+}
+
+// Start launches every registered query session. Must be called after the
+// network's Start, at simulation time zero.
+func (s *Service) Start() {
+	if s.started {
+		panic("core: Service started twice")
+	}
+	if len(s.gateways) == 0 {
+		panic("core: Start with no users registered")
+	}
+	s.started = true
+	ids := make([]uint32, 0, len(s.gateways))
+	for qid := range s.gateways {
+		ids = append(ids, qid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, qid := range ids {
+		s.gateways[qid].start()
+	}
+}
+
+// Results returns the per-period outcomes of the sole user (panics with
+// several users; use ResultsFor).
+func (s *Service) Results() []PeriodResult {
+	if len(s.gateways) != 1 {
+		panic("core: Results with multiple users; use ResultsFor")
+	}
+	for _, g := range s.gateways {
+		return g.Results()
+	}
+	return nil
+}
+
+// ResultsFor returns the per-period outcomes of one user's query.
+func (s *Service) ResultsFor(queryID uint32) []PeriodResult {
+	g := s.gateways[queryID]
+	if g == nil {
+		return nil
+	}
+	return g.Results()
+}
+
+// LiveTrees returns how many query trees node id currently stores.
+func (s *Service) LiveTrees(id radio.NodeID) int {
+	ag := s.agents[id]
+	if ag == nil {
+		return 0
+	}
+	return ag.liveTrees()
+}
+
+// Config returns the service configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// sleepPeriod exposes the PSM sleep period for the equation (10) hold rule.
+func (s *Service) sleepPeriod() time.Duration { return s.macCfg.SleepPeriod }

@@ -1,0 +1,105 @@
+// Package deploy generates sensor network topologies for the MobiQuery
+// simulator and derives density-dependent protocol parameters.
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mobiquery/internal/geom"
+)
+
+// Topology is a static placement of sensor nodes; node i sits at
+// Positions[i].
+type Topology struct {
+	Region    geom.Rect
+	Positions []geom.Point
+}
+
+// Uniform places n nodes uniformly at random in region, the deployment
+// model of the paper's evaluation (200 nodes in 450 m x 450 m).
+func Uniform(region geom.Rect, n int, rng *rand.Rand) Topology {
+	if n < 0 {
+		panic(fmt.Sprintf("deploy: negative node count %d", n))
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = region.UniformPoint(rng)
+	}
+	return Topology{Region: region, Positions: pts}
+}
+
+// UniformMinSeparation places n nodes uniformly with a minimum pairwise
+// separation, rejecting draws closer than minSep to an accepted point. It
+// gives up on a draw after maxTries attempts and accepts it anyway, so the
+// function always terminates.
+func UniformMinSeparation(region geom.Rect, n int, minSep float64, rng *rand.Rand) Topology {
+	const maxTries = 64
+	pts := make([]geom.Point, 0, n)
+	for len(pts) < n {
+		p := region.UniformPoint(rng)
+		ok := true
+		for try := 0; try < maxTries; try++ {
+			ok = true
+			for _, q := range pts {
+				if p.Within(q, minSep) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+			p = region.UniformPoint(rng)
+		}
+		pts = append(pts, p)
+	}
+	return Topology{Region: region, Positions: pts}
+}
+
+// Len returns the number of nodes.
+func (t Topology) Len() int { return len(t.Positions) }
+
+// Density returns nodes per square meter.
+func (t Topology) Density() float64 {
+	area := t.Region.Area()
+	if area <= 0 {
+		return 0
+	}
+	return float64(len(t.Positions)) / area
+}
+
+// NodesIn returns the indices of nodes inside the circle, in index order.
+func (t Topology) NodesIn(c geom.Circle) []int {
+	var out []int
+	for i, p := range t.Positions {
+		if c.Contains(p) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SuggestPickupRadius returns a pickup-point anycast radius Rp such that a
+// circle of that radius contains at least one backbone node with the given
+// probability, assuming backbone nodes form a Poisson field with intensity
+// backboneFraction * density. The paper notes Rp "may vary depending on the
+// density of the sensor network"; this is that calculation.
+func SuggestPickupRadius(t Topology, backboneFraction, confidence float64) float64 {
+	if backboneFraction <= 0 || confidence <= 0 || confidence >= 1 {
+		panic("deploy: backboneFraction must be positive and confidence in (0,1)")
+	}
+	lambda := t.Density() * backboneFraction
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	// P(no backbone node within Rp) = exp(-lambda*pi*Rp^2) = 1 - confidence.
+	return math.Sqrt(-math.Log(1-confidence) / (lambda * math.Pi))
+}
+
+// ExpectedNeighbors returns the mean number of neighbours per node at the
+// given communication range (ignoring boundary effects).
+func (t Topology) ExpectedNeighbors(commRange float64) float64 {
+	return t.Density() * math.Pi * commRange * commRange
+}

@@ -1,0 +1,127 @@
+package deploy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mobiquery/internal/geom"
+)
+
+func TestUniformPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	region := geom.Square(450)
+	topo := Uniform(region, 200, rng)
+	if topo.Len() != 200 {
+		t.Fatalf("Len = %d", topo.Len())
+	}
+	for i, p := range topo.Positions {
+		if !region.Contains(p) {
+			t.Fatalf("node %d at %v outside region", i, p)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(geom.Square(450), 50, rand.New(rand.NewSource(5)))
+	b := Uniform(geom.Square(450), 50, rand.New(rand.NewSource(5)))
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatal("same seed produced different topologies")
+		}
+	}
+}
+
+func TestUniformZeroNodes(t *testing.T) {
+	topo := Uniform(geom.Square(450), 0, rand.New(rand.NewSource(1)))
+	if topo.Len() != 0 {
+		t.Errorf("Len = %d, want 0", topo.Len())
+	}
+}
+
+func TestUniformNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count should panic")
+		}
+	}()
+	Uniform(geom.Square(450), -1, rand.New(rand.NewSource(1)))
+}
+
+func TestUniformMinSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	topo := UniformMinSeparation(geom.Square(450), 100, 20, rng)
+	if topo.Len() != 100 {
+		t.Fatalf("Len = %d", topo.Len())
+	}
+	tooClose := 0
+	for i := 0; i < topo.Len(); i++ {
+		for j := i + 1; j < topo.Len(); j++ {
+			if topo.Positions[i].Within(topo.Positions[j], 20) {
+				tooClose++
+			}
+		}
+	}
+	// The sampler accepts rare failures after maxTries; nearly all pairs
+	// must respect the separation.
+	if tooClose > 2 {
+		t.Errorf("%d pairs violate min separation", tooClose)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	topo := Uniform(geom.Square(450), 200, rand.New(rand.NewSource(1)))
+	want := 200.0 / (450 * 450)
+	if got := topo.Density(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Density = %v, want %v", got, want)
+	}
+}
+
+func TestNodesIn(t *testing.T) {
+	topo := Topology{
+		Region: geom.Square(100),
+		Positions: []geom.Point{
+			geom.Pt(10, 10), geom.Pt(50, 50), geom.Pt(52, 50), geom.Pt(90, 90),
+		},
+	}
+	got := topo.NodesIn(geom.Circle{C: geom.Pt(50, 50), R: 10})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("NodesIn = %v, want [1 2]", got)
+	}
+}
+
+func TestSuggestPickupRadius(t *testing.T) {
+	topo := Uniform(geom.Square(450), 200, rand.New(rand.NewSource(1)))
+	rp := SuggestPickupRadius(topo, 0.3, 0.9)
+	if rp < 20 || rp > 120 {
+		t.Errorf("Rp = %.1f m, want a plausible anycast radius", rp)
+	}
+	// Higher confidence needs a larger radius.
+	if SuggestPickupRadius(topo, 0.3, 0.99) <= rp {
+		t.Error("higher confidence should give larger Rp")
+	}
+	// Denser backbone needs a smaller radius.
+	if SuggestPickupRadius(topo, 0.6, 0.9) >= rp {
+		t.Error("denser backbone should give smaller Rp")
+	}
+}
+
+func TestSuggestPickupRadiusPanics(t *testing.T) {
+	topo := Uniform(geom.Square(450), 10, rand.New(rand.NewSource(1)))
+	for _, args := range [][2]float64{{0, 0.9}, {0.3, 0}, {0.3, 1}} {
+		func() {
+			defer func() { _ = recover() }()
+			SuggestPickupRadius(topo, args[0], args[1])
+			t.Errorf("SuggestPickupRadius(%v) should panic", args)
+		}()
+	}
+}
+
+func TestExpectedNeighbors(t *testing.T) {
+	topo := Uniform(geom.Square(450), 200, rand.New(rand.NewSource(1)))
+	// 200 nodes, range 105: lambda*pi*r^2 = 200/202500 * pi * 11025 ~ 34.
+	got := topo.ExpectedNeighbors(105)
+	if got < 30 || got > 40 {
+		t.Errorf("ExpectedNeighbors = %.1f, want about 34", got)
+	}
+}

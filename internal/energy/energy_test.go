@@ -1,0 +1,183 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobiquery/internal/sim"
+)
+
+// fakeClock is a manually advanced virtual clock.
+type fakeClock struct{ now sim.Time }
+
+func (c *fakeClock) read() sim.Time          { return c.now }
+func (c *fakeClock) advance(d time.Duration) { c.now += d }
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestProfilePower(t *testing.T) {
+	p := Cabletron80211()
+	tests := []struct {
+		mode Mode
+		want float64
+	}{
+		{ModeTx, 1.4},
+		{ModeRx, 1.0},
+		{ModeIdle, 0.83},
+		{ModeSleep, 0.13},
+		{Mode(0), 0},
+	}
+	for _, tt := range tests {
+		if got := p.Power(tt.mode); got != tt.want {
+			t.Errorf("Power(%v) = %v, want %v", tt.mode, got, tt.want)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{ModeSleep: "sleep", ModeIdle: "idle", ModeRx: "rx", ModeTx: "tx"}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Mode(99).String() != "Mode(99)" {
+		t.Errorf("unknown mode String = %q", Mode(99).String())
+	}
+}
+
+func TestMeterSingleMode(t *testing.T) {
+	clk := &fakeClock{}
+	m := NewMeter(Cabletron80211(), clk.read, ModeSleep)
+	clk.advance(10 * time.Second)
+	if got := m.ModeTime(ModeSleep); got != 10*time.Second {
+		t.Errorf("sleep time = %v, want 10s", got)
+	}
+	if got := m.Energy(); !almostEqual(got, 1.3, 1e-9) {
+		t.Errorf("Energy = %v J, want 1.3 J", got)
+	}
+	if got := m.AveragePower(); !almostEqual(got, 0.13, 1e-9) {
+		t.Errorf("AveragePower = %v W, want 0.13 W", got)
+	}
+}
+
+func TestMeterModeTransitions(t *testing.T) {
+	clk := &fakeClock{}
+	m := NewMeter(Cabletron80211(), clk.read, ModeIdle)
+	clk.advance(2 * time.Second) // 2s idle
+	m.SetMode(ModeTx)
+	clk.advance(1 * time.Second) // 1s tx
+	m.SetMode(ModeRx)
+	clk.advance(3 * time.Second) // 3s rx
+	m.SetMode(ModeSleep)
+	clk.advance(4 * time.Second) // 4s sleep
+
+	if got := m.ModeTime(ModeIdle); got != 2*time.Second {
+		t.Errorf("idle = %v", got)
+	}
+	if got := m.ModeTime(ModeTx); got != 1*time.Second {
+		t.Errorf("tx = %v", got)
+	}
+	if got := m.ModeTime(ModeRx); got != 3*time.Second {
+		t.Errorf("rx = %v", got)
+	}
+	if got := m.ModeTime(ModeSleep); got != 4*time.Second {
+		t.Errorf("sleep = %v", got)
+	}
+	wantJ := 0.83*2 + 1.4*1 + 1.0*3 + 0.13*4
+	if got := m.Energy(); !almostEqual(got, wantJ, 1e-9) {
+		t.Errorf("Energy = %v, want %v", got, wantJ)
+	}
+	if m.TotalTime() != 10*time.Second {
+		t.Errorf("TotalTime = %v, want 10s", m.TotalTime())
+	}
+}
+
+func TestSetModeSameIsNoop(t *testing.T) {
+	clk := &fakeClock{}
+	m := NewMeter(Cabletron80211(), clk.read, ModeIdle)
+	clk.advance(time.Second)
+	m.SetMode(ModeIdle)
+	clk.advance(time.Second)
+	if got := m.ModeTime(ModeIdle); got != 2*time.Second {
+		t.Errorf("idle = %v, want 2s", got)
+	}
+}
+
+func TestAveragePowerZeroTime(t *testing.T) {
+	clk := &fakeClock{}
+	m := NewMeter(Cabletron80211(), clk.read, ModeIdle)
+	if got := m.AveragePower(); got != 0 {
+		t.Errorf("AveragePower with no elapsed time = %v, want 0", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	clk := &fakeClock{}
+	m := NewMeter(Cabletron80211(), clk.read, ModeRx)
+	clk.advance(5 * time.Second)
+	s := m.Snapshot()
+	if s.Rx != 5*time.Second || !almostEqual(s.Energy, 5.0, 1e-9) {
+		t.Errorf("Snapshot = %+v", s)
+	}
+	if !almostEqual(s.AveragePower, 1.0, 1e-9) {
+		t.Errorf("Snapshot.AveragePower = %v", s.AveragePower)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	r1 := Report{Energy: 2, AveragePower: 0.2, Sleep: 2 * time.Second}
+	r2 := Report{Energy: 4, AveragePower: 0.4, Sleep: 4 * time.Second}
+	got := Aggregate([]Report{r1, r2})
+	if !almostEqual(got.Energy, 3, 1e-12) || !almostEqual(got.AveragePower, 0.3, 1e-12) {
+		t.Errorf("Aggregate = %+v", got)
+	}
+	if got.Sleep != 3*time.Second {
+		t.Errorf("Aggregate.Sleep = %v", got.Sleep)
+	}
+	if z := Aggregate(nil); z != (Report{}) {
+		t.Errorf("Aggregate(nil) = %+v, want zero", z)
+	}
+}
+
+// Property: mode durations always sum to elapsed time, and energy is
+// bounded by [sleepPower, txPower] x elapsed.
+func TestQuickTimeConservation(t *testing.T) {
+	profile := Cabletron80211()
+	f := func(steps []uint8) bool {
+		clk := &fakeClock{}
+		m := NewMeter(profile, clk.read, ModeSleep)
+		var elapsed time.Duration
+		for _, s := range steps {
+			d := time.Duration(s%100) * time.Millisecond
+			clk.advance(d)
+			elapsed += d
+			m.SetMode(Mode(s%4) + ModeSleep)
+		}
+		if m.TotalTime() != elapsed {
+			return false
+		}
+		e := m.Energy()
+		lo := profile.Sleep * elapsed.Seconds()
+		hi := profile.Tx * elapsed.Seconds()
+		return e >= lo-1e-9 && e <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterWithEngineClock(t *testing.T) {
+	e := sim.NewEngine(1)
+	m := NewMeter(Cabletron80211(), e.Now, ModeIdle)
+	e.Schedule(2*time.Second, func() { m.SetMode(ModeSleep) })
+	e.Run(10 * time.Second)
+	if got := m.ModeTime(ModeIdle); got != 2*time.Second {
+		t.Errorf("idle = %v, want 2s", got)
+	}
+	if got := m.ModeTime(ModeSleep); got != 8*time.Second {
+		t.Errorf("sleep = %v, want 8s", got)
+	}
+}

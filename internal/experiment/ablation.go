@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"time"
+
+	"mobiquery/internal/core"
+	"mobiquery/internal/metrics"
+)
+
+// Ablation quantifies the engineering decisions DESIGN.md documents: each
+// row removes one mechanism from the full system and reports the resulting
+// success ratio and medium-level collision count (sleep period 9 s, walking
+// user, accurate profiles).
+func Ablation(opts Options) Table {
+	variants := []struct {
+		label string
+		mut   func(*Scenario)
+	}{
+		{"full system (MQ-JIT)", func(*Scenario) {}},
+		{"no flood jitter", func(s *Scenario) { s.DisableFloodJitter = true }},
+		{"no forward lead", func(s *Scenario) { s.DisableForwardLead = true }},
+		{"greedy prefetch (MQ-GP)", func(s *Scenario) { s.Scheme = core.SchemeGP }},
+		{"no prefetch (NP)", func(s *Scenario) { s.Scheme = core.SchemeNP }},
+	}
+	runs := opts.runs(3)
+	tbl := Table{
+		ID:      "Ablation",
+		Title:   "contribution of each mechanism (sleep 9 s, walking user)",
+		Columns: []string{"variant", "success", "mean fidelity", "collisions"},
+	}
+	for _, v := range variants {
+		base := Default().WithDuration(opts.duration(400 * time.Second))
+		base.SleepPeriod = 9 * time.Second
+		v.mut(&base)
+		rs := RunMany(Replicate(base, opts.BaseSeed, runs))
+		success, _ := metrics.MeanCI95(SuccessRatios(rs))
+		var fid, col float64
+		for _, r := range rs {
+			fid += r.MeanFidelity
+			col += float64(r.MediumStats.Collisions)
+		}
+		n := float64(len(rs))
+		tbl.Rows = append(tbl.Rows, Row{
+			Label: v.label,
+			Cells: []Cell{{Value: success}, {Value: fid / n}, {Value: col / n}},
+		})
+	}
+	return tbl
+}

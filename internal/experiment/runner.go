@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunMany executes scenarios in parallel across CPU cores and returns the
+// results in input order. Each scenario remains internally deterministic.
+func RunMany(scenarios []Scenario) []RunResult {
+	results := make([]RunResult, len(scenarios))
+	workers := runtime.NumCPU()
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = Run(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Replicate returns n copies of sc with seeds base+0..n-1, the paper's
+// "runs with different network topologies".
+func Replicate(sc Scenario, base int64, n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		s := sc
+		s.Seed = base + int64(i)
+		out[i] = s
+	}
+	return out
+}
+
+// SuccessRatios extracts the success ratio from each result.
+func SuccessRatios(rs []RunResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.SuccessRatio
+	}
+	return out
+}
+
+// TargetSuccessRatios extracts the targeted-area success ratio from each
+// result.
+func TargetSuccessRatios(rs []RunResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.TargetSuccessRatio
+	}
+	return out
+}
+
+// SleeperPowers extracts the per-sleeping-node average power from each
+// result.
+func SleeperPowers(rs []RunResult) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.PowerSleeper
+	}
+	return out
+}

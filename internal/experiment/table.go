@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one measured table entry with an optional 95% confidence
+// half-width.
+type Cell struct {
+	Value float64
+	CI    float64
+	HasCI bool
+}
+
+// Row is one labelled table row.
+type Row struct {
+	Label string
+	Cells []Cell
+}
+
+// Table is a formatted reproduction of one paper artifact (or a panel of
+// one).
+type Table struct {
+	ID      string // e.g. "Figure 4"
+	Title   string
+	Columns []string // first column is the row-label header
+	Rows    []Row
+	Notes   string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		line := make([]string, 0, len(row.Cells)+1)
+		line = append(line, row.Label)
+		for _, c := range row.Cells {
+			if c.HasCI {
+				line = append(line, fmt.Sprintf("%.3f ±%.3f", c.Value, c.CI))
+			} else {
+				line = append(line, fmt.Sprintf("%.3f", c.Value))
+			}
+		}
+		cells[r] = line
+		for i, s := range line {
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, line := range cells {
+		for i, s := range line {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], s)
+			} else {
+				b.WriteString(s)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package geom
+
+import "math"
+
+// Grid is a spatial hash over a rectangular region that supports efficient
+// "all items within radius r of point p" queries. The wireless medium uses
+// it to find candidate receivers without scanning every node.
+//
+// Items are identified by small non-negative integer IDs (node IDs). The
+// zero value is not usable; construct with NewGrid.
+type Grid struct {
+	region Rect
+	cell   float64
+	cols   int
+	rows   int
+	cells  [][]int32
+	where  map[int32]Point
+}
+
+// NewGrid creates a grid over region with the given cell size. Cell size
+// should be on the order of the typical query radius; the communication
+// range is a good choice.
+func NewGrid(region Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("geom: grid cell size must be positive")
+	}
+	cols := int(math.Ceil(region.Width()/cellSize)) + 1
+	rows := int(math.Ceil(region.Height()/cellSize)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		region: region,
+		cell:   cellSize,
+		cols:   cols,
+		rows:   rows,
+		cells:  make([][]int32, cols*rows),
+		where:  make(map[int32]Point),
+	}
+}
+
+func (g *Grid) index(p Point) int {
+	cx := int((p.X - g.region.MinX) / g.cell)
+	cy := int((p.Y - g.region.MinY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Insert adds id at position p. Inserting an existing id moves it.
+func (g *Grid) Insert(id int32, p Point) {
+	if old, ok := g.where[id]; ok {
+		if old == p {
+			return
+		}
+		g.remove(id, old)
+	}
+	g.where[id] = p
+	idx := g.index(p)
+	g.cells[idx] = append(g.cells[idx], id)
+}
+
+// Move updates the position of id. It is equivalent to Insert.
+func (g *Grid) Move(id int32, p Point) { g.Insert(id, p) }
+
+// Remove deletes id from the grid. Removing an absent id is a no-op.
+func (g *Grid) Remove(id int32) {
+	p, ok := g.where[id]
+	if !ok {
+		return
+	}
+	g.remove(id, p)
+	delete(g.where, id)
+}
+
+func (g *Grid) remove(id int32, p Point) {
+	idx := g.index(p)
+	bucket := g.cells[idx]
+	for i, v := range bucket {
+		if v == id {
+			bucket[i] = bucket[len(bucket)-1]
+			g.cells[idx] = bucket[:len(bucket)-1]
+			return
+		}
+	}
+}
+
+// Position returns the stored position of id.
+func (g *Grid) Position(id int32) (Point, bool) {
+	p, ok := g.where[id]
+	return p, ok
+}
+
+// Len returns the number of items stored.
+func (g *Grid) Len() int { return len(g.where) }
+
+// Within appends to dst the ids of all items within radius r of p
+// (inclusive) and returns the extended slice. Results are in no particular
+// order; callers that need determinism must sort.
+func (g *Grid) Within(dst []int32, p Point, r float64) []int32 {
+	minCX := int((p.X - r - g.region.MinX) / g.cell)
+	maxCX := int((p.X + r - g.region.MinX) / g.cell)
+	minCY := int((p.Y - r - g.region.MinY) / g.cell)
+	maxCY := int((p.Y + r - g.region.MinY) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	r2 := r * r
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, id := range g.cells[cy*g.cols+cx] {
+				if g.where[id].Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mobiquery/internal/core"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/mobility"
+	"mobiquery/internal/radio"
+	"mobiquery/internal/sim"
+)
+
+func sec(s float64) sim.Time { return sim.Time(s * float64(time.Second)) }
+
+func evalFixture() ([]core.PeriodResult, mobility.Course, []geom.Point) {
+	course := mobility.Course{Trajectory: mobility.Stationary(geom.Pt(100, 100), 0)}
+	positions := []geom.Point{
+		geom.Pt(100, 100), // 0: in area
+		geom.Pt(150, 100), // 1: in area
+		geom.Pt(100, 160), // 2: in area
+		geom.Pt(400, 400), // 3: far outside
+	}
+	mk := func(k int, contribs []radio.NodeID, onTime bool) core.PeriodResult {
+		p := core.NewPartial()
+		for _, id := range contribs {
+			p.AddReading(id, 1)
+		}
+		return core.PeriodResult{
+			K: k, Deadline: sec(float64(2 * k)), Received: true,
+			Arrival: sec(float64(2*k) - 0.05), OnTime: onTime, Data: p,
+		}
+	}
+	results := []core.PeriodResult{
+		mk(1, []radio.NodeID{0, 1, 2}, true),    // full fidelity
+		mk(2, []radio.NodeID{0, 1}, true),       // 2/3
+		mk(3, []radio.NodeID{0, 1, 2, 3}, true), // outside contributor ignored
+		mk(4, []radio.NodeID{0}, false),         // late
+		{K: 5, Deadline: sec(10)},               // missing
+	}
+	return results, course, positions
+}
+
+func TestEvaluate(t *testing.T) {
+	results, course, positions := evalFixture()
+	recs := Evaluate(results, course, positions, 170, 2*time.Second)
+	if len(recs) != 5 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0].Fidelity != 1 || !recs[0].Success {
+		t.Errorf("rec 1 = %+v", recs[0])
+	}
+	if math.Abs(recs[1].Fidelity-2.0/3) > 1e-12 || recs[1].Success {
+		t.Errorf("rec 2 fidelity = %v", recs[1].Fidelity)
+	}
+	if len(recs[1].Missing) != 1 || recs[1].Missing[0] != 2 {
+		t.Errorf("rec 2 missing = %v", recs[1].Missing)
+	}
+	if recs[2].Fidelity != 1 || recs[2].Contributors != 3 {
+		t.Errorf("rec 3: out-of-area contributor should not count: %+v", recs[2])
+	}
+	if recs[3].Success || !recs[3].Received {
+		t.Errorf("late result must not succeed: %+v", recs[3])
+	}
+	if recs[4].Received || recs[4].Fidelity != 0 || recs[4].Success {
+		t.Errorf("missing result: %+v", recs[4])
+	}
+	if recs[0].AreaNodes != 3 {
+		t.Errorf("area nodes = %d, want 3", recs[0].AreaNodes)
+	}
+}
+
+func TestEvaluateDedupContributors(t *testing.T) {
+	course := mobility.Course{Trajectory: mobility.Stationary(geom.Pt(0, 0), 0)}
+	positions := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)}
+	p := core.NewPartial()
+	p.AddReading(0, 1)
+	p.AddReading(0, 2) // duplicate contributor
+	results := []core.PeriodResult{{
+		K: 1, Deadline: sec(2), Received: true, Arrival: sec(1.9), OnTime: true, Data: p,
+	}}
+	recs := Evaluate(results, course, positions, 50, 2*time.Second)
+	if recs[0].Contributors != 1 {
+		t.Errorf("duplicate contributor counted twice: %d", recs[0].Contributors)
+	}
+}
+
+func TestEvaluateEmptyArea(t *testing.T) {
+	course := mobility.Course{Trajectory: mobility.Stationary(geom.Pt(0, 0), 0)}
+	results := []core.PeriodResult{{K: 1, Deadline: sec(2), Received: true, OnTime: true, Arrival: sec(2)}}
+	recs := Evaluate(results, course, nil, 150, 2*time.Second)
+	if recs[0].Fidelity != 1 {
+		t.Errorf("empty area fidelity = %v, want vacuous 1", recs[0].Fidelity)
+	}
+}
+
+func TestSuccessRatioAndMeanFidelity(t *testing.T) {
+	recs := []QueryRecord{
+		{Success: true, Fidelity: 1},
+		{Success: false, Fidelity: 0.5},
+		{Success: true, Fidelity: 0.96},
+		{Success: false, Fidelity: 0},
+	}
+	if got := SuccessRatio(recs); got != 0.5 {
+		t.Errorf("SuccessRatio = %v", got)
+	}
+	if got := MeanFidelity(recs); math.Abs(got-0.615) > 1e-12 {
+		t.Errorf("MeanFidelity = %v", got)
+	}
+	if SuccessRatio(nil) != 0 || MeanFidelity(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, ci := MeanCI95([]float64{1, 1, 1, 1, 1})
+	if mean != 1 || ci != 0 {
+		t.Errorf("constant sample: mean=%v ci=%v", mean, ci)
+	}
+	mean, ci = MeanCI95([]float64{0.9, 1.0, 1.1})
+	if math.Abs(mean-1.0) > 1e-12 {
+		t.Errorf("mean = %v", mean)
+	}
+	// sd = 0.1, t(0.975,2) = 4.303: ci = 4.303*0.1/sqrt(3) ~ 0.2484.
+	if math.Abs(ci-0.2484) > 1e-3 {
+		t.Errorf("ci = %v, want ~0.248", ci)
+	}
+	if _, ci = MeanCI95([]float64{5}); ci != 0 {
+		t.Error("single sample should give 0 CI")
+	}
+	// Large samples fall back to the normal quantile.
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	if _, ci = MeanCI95(xs); ci <= 0 {
+		t.Error("large-sample CI should be positive")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Input must stay unsorted (no mutation).
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestStorageTracker(t *testing.T) {
+	st := NewStorageTracker(sec(0.5), 2*time.Second)
+	// At t=1s the user is in period 0; trees for k=3 and k=4 go up.
+	st.Add(10, 3, sec(1))
+	st.Add(10, 4, sec(1))
+	st.Add(11, 3, sec(1))
+	if got := st.MaxTreesPerNode(); got != 2 {
+		t.Errorf("MaxTreesPerNode = %d", got)
+	}
+	if got := st.MaxPrefetchLength(); got != 4 {
+		t.Errorf("MaxPrefetchLength = %d, want 4", got)
+	}
+	if got := st.MaxLivePeriods(); got != 2 {
+		t.Errorf("MaxLivePeriods = %d", got)
+	}
+	if got := st.Setups(); got != 3 {
+		t.Errorf("Setups = %d", got)
+	}
+	st.Remove(10, 3, sec(6))
+	st.Remove(11, 3, sec(6))
+	st.Remove(10, 4, sec(8))
+	if got := st.MaxLivePeriods(); got != 2 {
+		t.Errorf("MaxLivePeriods after removal should remember the peak: %d", got)
+	}
+	if mean := st.MeanPrefetchLength(); mean <= 0 {
+		t.Errorf("MeanPrefetchLength = %v", mean)
+	}
+	if NewStorageTracker(0, time.Second).MeanPrefetchLength() != 0 {
+		t.Error("empty tracker mean should be 0")
+	}
+}
