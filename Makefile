@@ -1,0 +1,33 @@
+# Same entry points CI uses (.github/workflows/ci.yml); run `make check`
+# before sending a PR.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark as a smoke test; use `go test -bench=. ./...`
+# directly for real measurements.
+bench:
+	$(GO) test -run=xxx -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: build fmt vet test race bench

@@ -9,13 +9,16 @@ package mobiquery
 // recorded in EXPERIMENTS.md.
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
 	"mobiquery/internal/analysis"
 	"mobiquery/internal/core"
 	"mobiquery/internal/experiment"
+	"mobiquery/internal/field"
 	"mobiquery/internal/geom"
+	"mobiquery/internal/radio"
 )
 
 // geomPt and geomV keep the bench bodies concise.
@@ -200,6 +203,65 @@ func BenchmarkAblationMechanisms(b *testing.B) {
 				b.ReportMetric(row.Cells[0].Value, "nolead-success")
 			}
 		}
+	}
+}
+
+// benchEngine builds a populated query engine for the dispatch benchmarks:
+// users queries of the paper's 150 m radius over a 20k-node field.
+func benchEngine(users int, cfg core.EngineConfig) *core.QueryEngine {
+	rng := rand.New(rand.NewSource(1))
+	region := geom.Square(5000)
+	e := core.NewQueryEngine(region, 150, field.Gradient{Base: 20, Slope: geom.V(0.001, 0.002)}, cfg)
+	for i := 0; i < 20_000; i++ {
+		e.UpsertNode(radio.NodeID(i), region.UniformPoint(rng))
+	}
+	for u := 1; u <= users; u++ {
+		e.Register(uint32(u), 150, region.UniformPoint(rng))
+	}
+	return e
+}
+
+// BenchmarkMultiUserDispatchSerial measures the pre-sharding baseline: one
+// serial loop evaluating every user's query area in turn.
+func BenchmarkMultiUserDispatchSerial(b *testing.B) {
+	e := benchEngine(2000, core.EngineConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.EvaluateAllSerial(time.Duration(i) * time.Second)
+		if len(res) != 2000 {
+			b.Fatal("evaluation dropped users")
+		}
+	}
+}
+
+// BenchmarkMultiUserDispatchSharded measures the same workload through the
+// sharded concurrent engine's worker pool. On a multi-core host this beats
+// BenchmarkMultiUserDispatchSerial by roughly the core count; results are
+// bit-identical between the two paths.
+func BenchmarkMultiUserDispatchSharded(b *testing.B) {
+	e := benchEngine(2000, core.EngineConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.EvaluateAll(time.Duration(i) * time.Second)
+		if len(res) != 2000 {
+			b.Fatal("evaluation dropped users")
+		}
+	}
+}
+
+// BenchmarkScaleScenario runs the full multi-user scale harness (waypoint
+// churn plus evaluation sweeps) at a reduced population and reports
+// evaluations per second.
+func BenchmarkScaleScenario(b *testing.B) {
+	cfg := experiment.DefaultScale()
+	cfg.Nodes = 20_000
+	cfg.Users = 2000
+	cfg.RegionSide = 5000
+	cfg.Rounds = 2
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunScale(cfg)
+		b.ReportMetric(float64(res.Evaluations)/res.Elapsed.Seconds(), "evals/s")
+		b.ReportMetric(res.MeanArea, "mean-area-nodes")
 	}
 }
 

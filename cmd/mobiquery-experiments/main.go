@@ -28,10 +28,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mobiquery-experiments", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, or all")
-		runs  = fs.Int("runs", 0, "topologies per data point (0 = paper's count)")
-		scale = fs.Float64("scale", 1, "session length scale factor (1 = paper durations)")
-		seed  = fs.Int64("seed", 1, "base seed")
+		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, or all")
+		runs    = fs.Int("runs", 0, "topologies per data point (0 = paper's count)")
+		scale   = fs.Float64("scale", 1, "session length scale factor (1 = paper durations)")
+		seed    = fs.Int64("seed", 1, "base seed")
+		users   = fs.Int("users", 0, "scale scenario: concurrent users (0 = default 10k)")
+		nodes   = fs.Int("nodes", 0, "scale scenario: field size in sensors (0 = default 100k)")
+		shards  = fs.Int("shards", 0, "scale scenario: spatial shards (0 = auto)")
+		workers = fs.Int("workers", 0, "scale scenario: dispatch workers (0 = one per core)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +60,10 @@ func run(args []string) error {
 		fmt.Println(experiment.WarmupValidation(opts).Format())
 	case "ablation":
 		fmt.Println(experiment.Ablation(opts).Format())
+	case "scale":
+		if err := printScale(*seed, *users, *nodes, *shards, *workers); err != nil {
+			return err
+		}
 	case "all":
 		printFig4(opts)
 		fmt.Println(experiment.Fig5(opts).Format())
@@ -77,4 +85,40 @@ func printFig4(opts experiment.Options) {
 	for _, tbl := range experiment.Fig4(opts) {
 		fmt.Println(tbl.Format())
 	}
+}
+
+// printScale runs the multi-user scale scenario twice — serial dispatch and
+// sharded concurrent dispatch — and reports the speedup. Results (areas,
+// aggregates) are identical between the two; only wall time moves.
+func printScale(seed int64, users, nodes, shards, workers int) error {
+	cfg := experiment.DefaultScale()
+	cfg.Seed = seed
+	if users != 0 {
+		cfg.Users = users
+	}
+	if nodes != 0 {
+		cfg.Nodes = nodes
+	}
+	cfg.Shards = shards
+	cfg.Workers = workers
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("scale scenario: %d users on a %d-node field (%.0f m square, Rq=%.0f m, %d rounds)\n",
+		cfg.Users, cfg.Nodes, cfg.RegionSide, cfg.Radius, cfg.Rounds)
+
+	serial := cfg
+	serial.Serial = true
+	sres := experiment.RunScale(serial)
+	pres := experiment.RunScale(cfg)
+
+	if sres.Checksum != pres.Checksum {
+		return fmt.Errorf("serial and sharded dispatch disagree (checksums %v vs %v) — engine bug", sres.Checksum, pres.Checksum)
+	}
+	fmt.Printf("  serial dispatch:  %10v  (%.0f evals/s)\n", sres.Elapsed.Truncate(time.Millisecond), float64(sres.Evaluations)/sres.Elapsed.Seconds())
+	fmt.Printf("  sharded dispatch: %10v  (%.0f evals/s)\n", pres.Elapsed.Truncate(time.Millisecond), float64(pres.Evaluations)/pres.Elapsed.Seconds())
+	fmt.Printf("  speedup: %.2fx   mean in-area sensors: %.1f   mean value: %.3f\n",
+		sres.Elapsed.Seconds()/pres.Elapsed.Seconds(), pres.MeanArea, pres.MeanValue)
+	return nil
 }

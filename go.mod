@@ -1,0 +1,3 @@
+module mobiquery
+
+go 1.24

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mobiquery/internal/field"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/radio"
+	"mobiquery/internal/sim"
+)
+
+// EngineConfig sizes the concurrent multi-user query engine: how many
+// spatial shards the node index uses and how many workers the dispatch pool
+// runs. Zero values select sane defaults, so the zero EngineConfig is valid.
+type EngineConfig struct {
+	// Shards is the spatial shard count of the node index
+	// (<=0 selects geom.DefaultShards).
+	Shards int
+	// Workers is the worker-pool size used to fan independent users'
+	// work across cores (<=0 selects GOMAXPROCS).
+	Workers int
+}
+
+func (c EngineConfig) normalized() EngineConfig {
+	if c.Shards <= 0 {
+		c.Shards = geom.DefaultShards
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Validate reports configuration errors (negative knobs; zero means auto).
+func (c EngineConfig) Validate() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("core: engine shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: engine workers must be non-negative, got %d", c.Workers)
+	}
+	return nil
+}
+
+// queryStripes is the number of hash stripes of the query registry. It
+// bounds contention between concurrent Register/UpdateWaypoint calls for
+// different users.
+const queryStripes = 64
+
+// liveQuery is one registered user query: a radius around a mobile
+// waypoint. The waypoint is published through an atomic pointer so updates
+// never block evaluation.
+type liveQuery struct {
+	id     uint32
+	radius float64
+	pos    atomic.Pointer[geom.Point]
+}
+
+type engineStripe struct {
+	mu      sync.RWMutex
+	queries map[uint32]*liveQuery
+}
+
+// QueryEngine is the sharded, concurrent multi-user query engine: a spatial
+// index of sensor-node positions (geom.ShardedGrid) plus a registry of live
+// user queries, with all per-user work — registration, waypoint updates,
+// and query-area evaluation — safe to issue from many goroutines at once
+// and fanned across a worker pool by EvaluateAll/Dispatch.
+//
+// It answers the instantaneous form of the paper's spatiotemporal query:
+// "which sensors are inside the circle of radius Rq around each user right
+// now, and what is the aggregate of their readings". The discrete-event
+// Service uses it as its oracle node index; the experiment scale harness
+// drives it directly with tens of thousands of users.
+type QueryEngine struct {
+	cfg     EngineConfig
+	grid    *geom.ShardedGrid
+	fld     field.Field
+	stripes [queryStripes]engineStripe
+	nq      atomic.Int64
+}
+
+// NewQueryEngine creates an engine over region. cellSize tunes the spatial
+// hash (the typical query radius or the radio range are good choices); fld
+// is the sensor field sampled during evaluation.
+func NewQueryEngine(region geom.Rect, cellSize float64, fld field.Field, cfg EngineConfig) *QueryEngine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if fld == nil {
+		panic("core: query engine needs a field")
+	}
+	cfg = cfg.normalized()
+	e := &QueryEngine{
+		cfg:  cfg,
+		grid: geom.NewShardedGrid(region, cellSize, cfg.Shards),
+		fld:  fld,
+	}
+	for i := range e.stripes {
+		e.stripes[i].queries = make(map[uint32]*liveQuery)
+	}
+	return e
+}
+
+// Workers returns the dispatch pool size.
+func (e *QueryEngine) Workers() int { return e.cfg.Workers }
+
+// Index returns the underlying sharded node index.
+func (e *QueryEngine) Index() *geom.ShardedGrid { return e.grid }
+
+// UpsertNode records (or moves) a sensor node's position. Safe for
+// concurrent use across distinct node ids.
+func (e *QueryEngine) UpsertNode(id radio.NodeID, p geom.Point) {
+	e.grid.Insert(int32(id), p)
+}
+
+// RemoveNode drops a sensor node from the index (a failed node). Removing
+// an unknown node is a no-op.
+func (e *QueryEngine) RemoveNode(id radio.NodeID) { e.grid.Remove(int32(id)) }
+
+// NodeCount returns the number of indexed sensor nodes.
+func (e *QueryEngine) NodeCount() int { return e.grid.Len() }
+
+func (e *QueryEngine) stripe(queryID uint32) *engineStripe {
+	return &e.stripes[(queryID*2654435761)%queryStripes]
+}
+
+// Register adds a live user query of the given radius centered at pos.
+// QueryIDs must be unique and non-zero; radius must be positive. Distinct
+// users may register concurrently.
+func (e *QueryEngine) Register(queryID uint32, radius float64, pos geom.Point) {
+	if queryID == 0 {
+		panic("core: query id must be non-zero")
+	}
+	if radius <= 0 {
+		panic("core: query radius must be positive")
+	}
+	q := &liveQuery{id: queryID, radius: radius}
+	p := pos
+	q.pos.Store(&p)
+	st := e.stripe(queryID)
+	st.mu.Lock()
+	if _, dup := st.queries[queryID]; dup {
+		st.mu.Unlock()
+		panic(fmt.Sprintf("core: duplicate query id %d", queryID))
+	}
+	st.queries[queryID] = q
+	st.mu.Unlock()
+	e.nq.Add(1)
+}
+
+// Deregister removes a live query. Unknown ids are a no-op.
+func (e *QueryEngine) Deregister(queryID uint32) {
+	st := e.stripe(queryID)
+	st.mu.Lock()
+	_, ok := st.queries[queryID]
+	delete(st.queries, queryID)
+	st.mu.Unlock()
+	if ok {
+		e.nq.Add(-1)
+	}
+}
+
+// UpdateWaypoint moves a user's query center (the user walked). It reports
+// whether the query is registered. Updates for distinct users never
+// contend, and evaluation in flight sees either the old or the new point.
+func (e *QueryEngine) UpdateWaypoint(queryID uint32, pos geom.Point) bool {
+	st := e.stripe(queryID)
+	st.mu.RLock()
+	q := st.queries[queryID]
+	st.mu.RUnlock()
+	if q == nil {
+		return false
+	}
+	p := pos
+	q.pos.Store(&p)
+	return true
+}
+
+// QueryCount returns the number of registered live queries.
+func (e *QueryEngine) QueryCount() int { return int(e.nq.Load()) }
+
+// AreaResult is the instantaneous evaluation of one user's query area.
+type AreaResult struct {
+	QueryID uint32
+	// Center and Radius are the evaluated circle.
+	Center geom.Point
+	Radius float64
+	// Nodes lists the in-area sensor nodes in ascending id order.
+	Nodes []radio.NodeID
+	// Data aggregates the in-area readings at the evaluation instant.
+	Data Partial
+}
+
+// evaluate computes one query's area result at virtual time at. Pure with
+// respect to engine state: it only reads immutable bucket snapshots and the
+// query's atomic waypoint, so any number of evaluations run in parallel.
+func (e *QueryEngine) evaluate(q *liveQuery, at sim.Time) AreaResult {
+	center := *q.pos.Load()
+	res := AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: NewPartial()}
+	type hit struct {
+		id  int32
+		pos geom.Point
+	}
+	var hits []hit
+	e.grid.VisitWithin(center, q.radius, func(id int32, pos geom.Point) {
+		hits = append(hits, hit{id: id, pos: pos})
+	})
+	// Sort by id so Nodes, Contribs, and float accumulation order are
+	// deterministic regardless of shard layout and insertion interleaving.
+	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	res.Nodes = make([]radio.NodeID, 0, len(hits))
+	for _, h := range hits {
+		res.Nodes = append(res.Nodes, radio.NodeID(h.id))
+		res.Data.AddReading(radio.NodeID(h.id), e.fld.Sample(h.pos, at))
+	}
+	return res
+}
+
+// Evaluate computes one registered query's area result at virtual time at.
+func (e *QueryEngine) Evaluate(queryID uint32, at sim.Time) (AreaResult, bool) {
+	st := e.stripe(queryID)
+	st.mu.RLock()
+	q := st.queries[queryID]
+	st.mu.RUnlock()
+	if q == nil {
+		return AreaResult{}, false
+	}
+	return e.evaluate(q, at), true
+}
+
+// snapshot returns the registered queries sorted by id.
+func (e *QueryEngine) snapshot() []*liveQuery {
+	out := make([]*liveQuery, 0, e.nq.Load())
+	for i := range e.stripes {
+		st := &e.stripes[i]
+		st.mu.RLock()
+		for _, q := range st.queries {
+			out = append(out, q)
+		}
+		st.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// EvaluateAll evaluates every registered query at virtual time at,
+// dispatching independent users across the worker pool. Results are in
+// ascending query-id order and identical to EvaluateAllSerial.
+func (e *QueryEngine) EvaluateAll(at sim.Time) []AreaResult {
+	qs := e.snapshot()
+	out := make([]AreaResult, len(qs))
+	e.Dispatch(len(qs), func(i int) { out[i] = e.evaluate(qs[i], at) })
+	return out
+}
+
+// EvaluateAllSerial is EvaluateAll through a plain serial loop: the
+// pre-sharding dispatch path, kept as the benchmark baseline.
+func (e *QueryEngine) EvaluateAllSerial(at sim.Time) []AreaResult {
+	qs := e.snapshot()
+	out := make([]AreaResult, len(qs))
+	for i, q := range qs {
+		out[i] = e.evaluate(q, at)
+	}
+	return out
+}
+
+// Dispatch runs fn(0..n-1) across the engine's worker pool and returns when
+// all calls have completed. Workers pull indices from a shared queue, so
+// uneven per-user costs balance out. fn must be safe for concurrent
+// invocation with distinct arguments; with one worker (or n<2) the calls
+// run serially in order.
+func (e *QueryEngine) Dispatch(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.cfg.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

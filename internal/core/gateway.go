@@ -94,9 +94,12 @@ func (g *Gateway) start() {
 	}
 }
 
-// moveTick advances the proxy along the ground-truth course.
+// moveTick advances the proxy along the ground-truth course and pushes the
+// new position to the query engine as the user's current waypoint.
 func (g *Gateway) moveTick() {
-	g.proxy.Move(g.course.PosAt(g.svc.eng.Now()))
+	pos := g.course.PosAt(g.svc.eng.Now())
+	g.proxy.Move(pos)
+	g.svc.engine.UpdateWaypoint(g.qid, pos)
 	g.svc.eng.After(g.svc.cfg.MoveTick, g.moveTick)
 }
 

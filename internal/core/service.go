@@ -78,6 +78,9 @@ type Config struct {
 	TeardownGrace time.Duration
 	// MoveTick is the proxy position update granularity.
 	MoveTick time.Duration
+	// Engine sizes the concurrent multi-user query engine (spatial shards
+	// and dispatch workers). Zero values select sane defaults.
+	Engine EngineConfig
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -121,7 +124,7 @@ func (c Config) Validate() error {
 	case c.ForwardLead < 0:
 		return fmt.Errorf("core: forward lead must be non-negative")
 	}
-	return nil
+	return c.Engine.Validate()
 }
 
 // Hooks receive protocol events for metrics collection. Any field may be
@@ -184,6 +187,7 @@ type Service struct {
 	agents   map[radio.NodeID]*agent
 	gateways map[uint32]*Gateway
 	proxies  map[uint32]*netstack.Node
+	engine   *QueryEngine
 	hooks    hookSet
 	started  bool
 	debug    DebugCounters
@@ -267,6 +271,13 @@ func (s *Service) AddUser(queryID uint32, scheme Scheme, spec QuerySpec, course 
 
 // Start launches every registered query session. Must be called after the
 // network's Start, at simulation time zero.
+//
+// Start also stands up the service's concurrent query engine: sensor-node
+// indexing and per-user query registration are independent, so both are
+// dispatched through the engine's worker pool rather than a serial loop.
+// The per-gateway protocol kickoff stays serial in ascending query-id
+// order — it schedules events into the shared discrete-event engine, whose
+// determinism depends on scheduling order.
 func (s *Service) Start() {
 	if s.started {
 		panic("core: Service started twice")
@@ -275,14 +286,42 @@ func (s *Service) Start() {
 		panic("core: Start with no users registered")
 	}
 	s.started = true
+
+	s.engine = NewQueryEngine(s.nw.Region(), s.nw.Medium().Params().Range, s.field, s.cfg.Engine)
+	sensors := make([]radio.NodeID, 0, len(s.agents))
+	for id, ag := range s.agents {
+		if ag.isSensor {
+			sensors = append(sensors, id)
+		}
+	}
+	sort.Slice(sensors, func(i, j int) bool { return sensors[i] < sensors[j] })
+	s.engine.Dispatch(len(sensors), func(i int) {
+		s.engine.UpsertNode(sensors[i], s.nw.Node(sensors[i]).Pos())
+	})
+
 	ids := make([]uint32, 0, len(s.gateways))
 	for qid := range s.gateways {
 		ids = append(ids, qid)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s.engine.Dispatch(len(ids), func(i int) {
+		g := s.gateways[ids[i]]
+		s.engine.Register(g.qid, g.spec.Radius, g.proxy.Pos())
+	})
 	for _, qid := range ids {
 		s.gateways[qid].start()
 	}
+}
+
+// Engine returns the concurrent query engine. Nil before Start.
+func (s *Service) Engine() *QueryEngine { return s.engine }
+
+// EvaluateAreas returns the instantaneous area evaluation of every
+// registered user at the current virtual time, fanned across the engine's
+// worker pool: the oracle view of "which sensors should answer each user
+// right now", in ascending query-id order.
+func (s *Service) EvaluateAreas() []AreaResult {
+	return s.engine.EvaluateAll(s.eng.Now())
 }
 
 // Results returns the per-period outcomes of the sole user (panics with

@@ -71,6 +71,7 @@ func RunMulti(sc Scenario, users []UserSpec) []RunResult {
 	coreCfg := core.DefaultConfig(sc.Spec)
 	coreCfg.ScopeMargin = sc.CommRange / 2
 	coreCfg.T0 = queryStart(eng, sc)
+	coreCfg.Engine = core.EngineConfig{Shards: sc.Shards, Workers: sc.Workers}
 	svc := core.NewService(nw, coreCfg, sc.Field, core.Hooks{})
 	seen := make(map[uint32]bool, len(users))
 	for i, u := range users {
@@ -86,11 +87,17 @@ func RunMulti(sc Scenario, users []UserSpec) []RunResult {
 	svc.Start()
 	eng.Run(sc.Duration + 2*time.Second)
 
+	// Per-user evaluation is independent, so it fans out across the service
+	// engine's worker pool; every user reads the same sharded node index.
+	// Results are deterministic: evaluation is pure and out[i] is written
+	// only by the worker that drew index i.
+	idx := svc.Engine().Index()
 	out := make([]RunResult, len(users))
-	for i, u := range users {
+	svc.Engine().Dispatch(len(users), func(i int) {
+		u := users[i]
 		res := RunResult{
 			Scenario:    sc,
-			Records:     metrics.EvaluateAgg(svc.ResultsFor(u.QueryID), courses[i], topo.Positions, sc.Spec.Radius, sc.Spec.Period, sc.Spec.Agg),
+			Records:     metrics.EvaluateAggIndexed(svc.ResultsFor(u.QueryID), courses[i], idx, sc.Spec.Radius, sc.Spec.Period, sc.Spec.Agg),
 			MediumStats: nw.Medium().Stats(),
 			NetStats:    nw.Stats(),
 			EventsFired: eng.EventsFired(),
@@ -100,6 +107,6 @@ func RunMulti(sc Scenario, users []UserSpec) []RunResult {
 		res.MeanFidelity = metrics.MeanFidelity(res.Records)
 		res.BackboneNodes = sel.NumActive
 		out[i] = res
-	}
+	})
 	return out
 }

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mobiquery/internal/core"
+	"mobiquery/internal/field"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/radio"
+)
+
+// ScaleConfig describes the multi-user scale scenario: Users mobile users
+// issuing instantaneous area queries over a field of Nodes sensors, driven
+// directly through the core.QueryEngine (no radio simulation). It measures
+// the query-dispatch layer itself at populations far beyond what the
+// discrete-event stack can carry — the ROADMAP's "millions of users"
+// direction.
+type ScaleConfig struct {
+	Seed int64
+
+	// Nodes sensors are deployed uniformly over a RegionSide × RegionSide
+	// square; each of Users mobile users issues one query of the given
+	// Radius.
+	Nodes      int
+	Users      int
+	RegionSide float64
+	Radius     float64
+
+	// Each round every user moves Step meters along a fixed random heading
+	// (reflecting at the region boundary) and every query area is
+	// re-evaluated; Rounds rounds are executed.
+	Step   float64
+	Rounds int
+
+	// Shards and Workers size the engine (zero = defaults). Serial forces
+	// the single-threaded dispatch baseline regardless of Workers.
+	Shards  int
+	Workers int
+	Serial  bool
+
+	// Field is the sensor field sampled during evaluation.
+	Field field.Field
+}
+
+// DefaultScale returns the headline scale scenario: 10k concurrent users
+// over a 100k-node field — 500× the paper's node count — with paper-scale
+// query radii scaled into a 10 km region.
+func DefaultScale() ScaleConfig {
+	return ScaleConfig{
+		Seed:       1,
+		Nodes:      100_000,
+		Users:      10_000,
+		RegionSide: 10_000,
+		Radius:     150,
+		Step:       5,
+		Rounds:     5,
+		Field:      field.Gradient{Base: 20, Slope: geom.V(0.001, 0.002)},
+	}
+}
+
+// Validate reports configuration errors.
+func (c ScaleConfig) Validate() error {
+	switch {
+	case c.Nodes <= 0 || c.Users <= 0:
+		return fmt.Errorf("experiment: scale Nodes and Users must be positive")
+	case c.RegionSide <= 0 || c.Radius <= 0:
+		return fmt.Errorf("experiment: scale RegionSide and Radius must be positive")
+	case c.Step < 0 || c.Rounds <= 0:
+		return fmt.Errorf("experiment: scale Step must be non-negative and Rounds positive")
+	case c.Shards < 0 || c.Workers < 0:
+		return fmt.Errorf("experiment: scale Shards and Workers must be non-negative")
+	case c.Field == nil:
+		return fmt.Errorf("experiment: scale Field must be set")
+	}
+	return nil
+}
+
+// ScaleResult summarizes one scale run. Every field except Elapsed is a
+// pure function of the configuration (independent of Workers/Serial), which
+// is how the tests pin down that sharded dispatch changes only wall time.
+type ScaleResult struct {
+	Config      ScaleConfig
+	Evaluations int     // Users × Rounds area evaluations performed
+	MeanArea    float64 // mean in-area sensor count per evaluation
+	MeanValue   float64 // mean Avg aggregate over non-empty areas
+	Checksum    float64 // order-independent digest of all results
+	Elapsed     time.Duration
+}
+
+// RunScale executes the scale scenario: it indexes the node field, registers
+// every user, then alternates concurrent waypoint updates with full
+// query-area evaluation sweeps, all dispatched through the engine's worker
+// pool (or a serial loop when cfg.Serial is set).
+func RunScale(cfg ScaleConfig) ScaleResult {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	region := geom.Square(cfg.RegionSide)
+
+	// All randomness is drawn serially up front so the run's results do not
+	// depend on goroutine interleaving.
+	nodePos := make([]geom.Point, cfg.Nodes)
+	for i := range nodePos {
+		nodePos[i] = region.UniformPoint(rng)
+	}
+	userPos := make([]geom.Point, cfg.Users)
+	userDir := make([]geom.Vec, cfg.Users)
+	for i := range userPos {
+		userPos[i] = region.UniformPoint(rng)
+		userDir[i] = geom.FromAngle(rng.Float64() * 2 * math.Pi)
+	}
+
+	engCfg := core.EngineConfig{Shards: cfg.Shards, Workers: cfg.Workers}
+	if cfg.Serial {
+		engCfg.Workers = 1
+	}
+	e := core.NewQueryEngine(region, cfg.Radius, cfg.Field, engCfg)
+
+	start := time.Now()
+	e.Dispatch(cfg.Nodes, func(i int) {
+		e.UpsertNode(radio.NodeID(i), nodePos[i])
+	})
+	e.Dispatch(cfg.Users, func(i int) {
+		e.Register(uint32(i+1), cfg.Radius, userPos[i])
+	})
+
+	res := ScaleResult{Config: cfg}
+	var areaSum, valueSum, checksum float64
+	valued := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		if round > 0 {
+			e.Dispatch(cfg.Users, func(i int) {
+				userDir[i] = region.Reflect(userPos[i], userDir[i])
+				userPos[i] = region.Clamp(userPos[i].Add(userDir[i].Scale(cfg.Step)))
+				e.UpdateWaypoint(uint32(i+1), userPos[i])
+			})
+		}
+		at := time.Duration(round) * time.Second
+		var sweep []core.AreaResult
+		if cfg.Serial {
+			sweep = e.EvaluateAllSerial(at)
+		} else {
+			sweep = e.EvaluateAll(at)
+		}
+		for _, ar := range sweep {
+			res.Evaluations++
+			areaSum += float64(len(ar.Nodes))
+			if ar.Data.Count > 0 {
+				v := ar.Data.Value(core.AggAvg)
+				valueSum += v
+				valued++
+				checksum += v * float64(ar.QueryID%97+1)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if res.Evaluations > 0 {
+		res.MeanArea = areaSum / float64(res.Evaluations)
+	}
+	if valued > 0 {
+		res.MeanValue = valueSum / float64(valued)
+	}
+	res.Checksum = checksum
+	return res
+}

@@ -81,6 +81,13 @@ type Scenario struct {
 	// measure their contribution.
 	DisableFloodJitter bool
 	DisableForwardLead bool
+
+	// Shards and Workers size the service's concurrent query engine
+	// (spatial shards of the node index, worker-pool width for multi-user
+	// dispatch). Zero selects sane defaults; concurrency never changes a
+	// run's results, only its wall time.
+	Shards  int
+	Workers int
 }
 
 // Default returns the paper's Section 6.1 experimental settings: 200 nodes
@@ -139,6 +146,8 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("experiment: unknown profiler kind %d", s.Profiler)
 	case s.Field == nil:
 		return fmt.Errorf("experiment: Field must be set")
+	case s.Shards < 0 || s.Workers < 0:
+		return fmt.Errorf("experiment: Shards and Workers must be non-negative")
 	}
 	return s.Spec.Validate()
 }
@@ -258,6 +267,7 @@ func run(sc Scenario) (RunResult, core.DebugCounters) {
 	coreCfg := core.DefaultConfig(sc.Spec)
 	coreCfg.Scheme = sc.Scheme
 	coreCfg.ScopeMargin = sc.CommRange / 2
+	coreCfg.Engine = core.EngineConfig{Shards: sc.Shards, Workers: sc.Workers}
 	// The query's issue time is arbitrary relative to the synchronized PSM
 	// schedule; draw the phase per run. A fixed phase resonates when the
 	// sleep period is a multiple of the query period (NP's recruit windows

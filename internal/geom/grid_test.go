@@ -57,6 +57,21 @@ func TestGridMove(t *testing.T) {
 	}
 }
 
+func TestGridUnknownIDs(t *testing.T) {
+	g := NewGrid(Square(100), 10)
+	g.Remove(5) // removing an absent id is a no-op
+	if g.Len() != 0 {
+		t.Errorf("Len after removing unknown id = %d", g.Len())
+	}
+	g.Move(5, Pt(30, 30)) // moving an unknown id inserts it
+	if p, ok := g.Position(5); !ok || p != Pt(30, 30) {
+		t.Errorf("Position after Move of unknown id = %v, %v", p, ok)
+	}
+	if ids := g.Within(nil, Pt(30, 30), 1); len(ids) != 1 || ids[0] != 5 {
+		t.Errorf("moved-in unknown id not findable: %v", ids)
+	}
+}
+
 func TestGridRemove(t *testing.T) {
 	g := NewGrid(Square(100), 10)
 	g.Insert(1, Pt(50, 50))

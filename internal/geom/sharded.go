@@ -1,0 +1,294 @@
+package geom
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedGrid is a concurrency-safe spatial hash with the same query API as
+// Grid, built for many independent writers and readers: the cell space is
+// partitioned into horizontal shards with one write lock each, cell buckets
+// are immutable snapshots published through atomic pointers (radius queries
+// never take a lock), and the id→position index is striped by id hash so
+// position updates for different items rarely contend.
+//
+// Consistency model: every individual cell read observes a fully formed
+// bucket. A move that crosses cells is not atomic with respect to readers —
+// a radius query racing with the move may miss the moving item for that one
+// call (it is removed from the old cell before it appears in the new one,
+// so an item is never reported twice). Items never vanish from Position.
+//
+// The zero value is not usable; construct with NewShardedGrid.
+type ShardedGrid struct {
+	region     Rect
+	cell       float64
+	cols, rows int
+
+	rowsPerShard int
+	shards       []gridShard
+
+	stripes []posStripe
+}
+
+// shardEntry is one item in a cell bucket. Positions are stored inline so
+// the read path never touches the striped index.
+type shardEntry struct {
+	id int32
+	p  Point
+}
+
+// gridShard owns a horizontal band of cell rows. The mutex serializes
+// writers; readers go straight to the atomic bucket pointers.
+type gridShard struct {
+	mu    sync.Mutex
+	row0  int // first global cell row owned by this shard
+	cells []atomic.Pointer[[]shardEntry]
+}
+
+// posStripe is one stripe of the id→position index.
+type posStripe struct {
+	mu    sync.RWMutex
+	where map[int32]Point
+}
+
+// DefaultShards is the shard count used when NewShardedGrid is given a
+// non-positive count. It trades lock granularity against per-shard overhead
+// for fields in the 10⁴–10⁵ node range.
+const DefaultShards = 16
+
+// NewShardedGrid creates a sharded grid over region with the given cell
+// size and shard count (<=0 selects DefaultShards). The shard count is
+// capped at the number of cell rows; cell size should be on the order of
+// the typical query radius.
+func NewShardedGrid(region Rect, cellSize float64, shardCount int) *ShardedGrid {
+	if cellSize <= 0 {
+		panic("geom: grid cell size must be positive")
+	}
+	cols := int(math.Ceil(region.Width()/cellSize)) + 1
+	rows := int(math.Ceil(region.Height()/cellSize)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	if shardCount <= 0 {
+		shardCount = DefaultShards
+	}
+	if shardCount > rows {
+		shardCount = rows
+	}
+	rps := (rows + shardCount - 1) / shardCount
+	// Rounding the band height up can leave the last bands empty; shrink the
+	// shard count so every shard owns at least one row.
+	shardCount = (rows + rps - 1) / rps
+	g := &ShardedGrid{
+		region:       region,
+		cell:         cellSize,
+		cols:         cols,
+		rows:         rows,
+		rowsPerShard: rps,
+		shards:       make([]gridShard, shardCount),
+		stripes:      make([]posStripe, shardCount),
+	}
+	for s := range g.shards {
+		row0 := s * rps
+		bandRows := rps
+		if row0+bandRows > rows {
+			bandRows = rows - row0
+		}
+		g.shards[s].row0 = row0
+		g.shards[s].cells = make([]atomic.Pointer[[]shardEntry], bandRows*cols)
+	}
+	for s := range g.stripes {
+		g.stripes[s].where = make(map[int32]Point)
+	}
+	return g
+}
+
+// Shards returns the number of spatial shards.
+func (g *ShardedGrid) Shards() int { return len(g.shards) }
+
+// cellOf returns the clamped cell coordinates of p, mirroring Grid.index.
+func (g *ShardedGrid) cellOf(p Point) (cx, cy int) {
+	cx = int((p.X - g.region.MinX) / g.cell)
+	cy = int((p.Y - g.region.MinY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cx, cy
+}
+
+func (g *ShardedGrid) shardFor(cy int) *gridShard {
+	return &g.shards[cy/g.rowsPerShard]
+}
+
+// slot returns the shard-local bucket for global cell (cx, cy).
+func (sh *gridShard) slot(cols, cx, cy int) *atomic.Pointer[[]shardEntry] {
+	return &sh.cells[(cy-sh.row0)*cols+cx]
+}
+
+func (g *ShardedGrid) stripe(id int32) *posStripe {
+	// Cheap avalanche over the id; ids are often sequential, and taking the
+	// low bits directly would map neighbouring nodes to the same stripe.
+	h := uint32(id) * 2654435761
+	return &g.stripes[h%uint32(len(g.stripes))]
+}
+
+// addToCell publishes a new bucket for p's cell with id appended.
+func (g *ShardedGrid) addToCell(id int32, p Point) {
+	cx, cy := g.cellOf(p)
+	sh := g.shardFor(cy)
+	sh.mu.Lock()
+	slot := sh.slot(g.cols, cx, cy)
+	old := slot.Load()
+	var next []shardEntry
+	if old != nil {
+		next = make([]shardEntry, len(*old), len(*old)+1)
+		copy(next, *old)
+	}
+	next = append(next, shardEntry{id: id, p: p})
+	slot.Store(&next)
+	sh.mu.Unlock()
+}
+
+// removeFromCell publishes a new bucket for p's cell with id removed.
+func (g *ShardedGrid) removeFromCell(id int32, p Point) {
+	cx, cy := g.cellOf(p)
+	sh := g.shardFor(cy)
+	sh.mu.Lock()
+	slot := sh.slot(g.cols, cx, cy)
+	old := slot.Load()
+	if old != nil {
+		next := make([]shardEntry, 0, len(*old)-1)
+		for _, e := range *old {
+			if e.id != id {
+				next = append(next, e)
+			}
+		}
+		slot.Store(&next)
+	}
+	sh.mu.Unlock()
+}
+
+// Insert adds id at position p. Inserting an existing id moves it. Distinct
+// ids may be inserted concurrently; calls for the same id must be
+// externally ordered (last writer wins otherwise).
+func (g *ShardedGrid) Insert(id int32, p Point) {
+	st := g.stripe(id)
+	st.mu.Lock()
+	old, existed := st.where[id]
+	if existed && old == p {
+		st.mu.Unlock()
+		return
+	}
+	st.where[id] = p
+	// The stripe lock doubles as the per-item move lock: holding it across
+	// the cell updates keeps racing writers to the same id from interleaving
+	// their remove/add pairs. Shard locks are only ever taken one at a time
+	// under a stripe lock, so the lock order is acyclic.
+	if existed {
+		g.removeFromCell(id, old)
+	}
+	g.addToCell(id, p)
+	st.mu.Unlock()
+}
+
+// Move updates the position of id. It is equivalent to Insert.
+func (g *ShardedGrid) Move(id int32, p Point) { g.Insert(id, p) }
+
+// Remove deletes id from the grid. Removing an absent id is a no-op.
+func (g *ShardedGrid) Remove(id int32) {
+	st := g.stripe(id)
+	st.mu.Lock()
+	p, ok := st.where[id]
+	if !ok {
+		st.mu.Unlock()
+		return
+	}
+	delete(st.where, id)
+	g.removeFromCell(id, p)
+	st.mu.Unlock()
+}
+
+// Position returns the stored position of id.
+func (g *ShardedGrid) Position(id int32) (Point, bool) {
+	st := g.stripe(id)
+	st.mu.RLock()
+	p, ok := st.where[id]
+	st.mu.RUnlock()
+	return p, ok
+}
+
+// Len returns the number of items stored.
+func (g *ShardedGrid) Len() int {
+	n := 0
+	for s := range g.stripes {
+		st := &g.stripes[s]
+		st.mu.RLock()
+		n += len(st.where)
+		st.mu.RUnlock()
+	}
+	return n
+}
+
+// Within appends to dst the ids of all items within radius r of p
+// (inclusive) and returns the extended slice. The read path takes no locks:
+// it walks immutable bucket snapshots, so it runs concurrently with any
+// number of writers and other readers. Results are in no particular order;
+// callers that need determinism must sort.
+func (g *ShardedGrid) Within(dst []int32, p Point, r float64) []int32 {
+	g.VisitWithin(p, r, func(id int32, _ Point) {
+		dst = append(dst, id)
+	})
+	return dst
+}
+
+// VisitWithin calls fn for every item within radius r of p (inclusive),
+// passing the item's stored position. Like Within it takes no locks, so it
+// is the preferred read path when the caller needs positions: it avoids one
+// striped-index lookup per result.
+func (g *ShardedGrid) VisitWithin(p Point, r float64, fn func(id int32, pos Point)) {
+	minCX := int((p.X - r - g.region.MinX) / g.cell)
+	maxCX := int((p.X + r - g.region.MinX) / g.cell)
+	minCY := int((p.Y - r - g.region.MinY) / g.cell)
+	maxCY := int((p.Y + r - g.region.MinY) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	r2 := r * r
+	for cy := minCY; cy <= maxCY; cy++ {
+		sh := g.shardFor(cy)
+		base := (cy - sh.row0) * g.cols
+		for cx := minCX; cx <= maxCX; cx++ {
+			bucket := sh.cells[base+cx].Load()
+			if bucket == nil {
+				continue
+			}
+			for _, e := range *bucket {
+				if e.p.Dist2(p) <= r2 {
+					fn(e.id, e.p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package geom
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestShardedGridMatchesGrid(t *testing.T) {
+	// Randomized insert/move/remove traffic must leave the sharded grid
+	// answering range queries identically to the serial reference grid.
+	rng := rand.New(rand.NewSource(7))
+	region := Square(450)
+	for _, shards := range []int{1, 3, 16, 1000} {
+		ref := NewGrid(region, 105)
+		sg := NewShardedGrid(region, 105, shards)
+		for step := 0; step < 2000; step++ {
+			id := int32(rng.Intn(300))
+			switch rng.Intn(4) {
+			case 0:
+				sg.Remove(id)
+				ref.Remove(id)
+			default:
+				p := region.UniformPoint(rng)
+				sg.Insert(id, p)
+				ref.Insert(id, p)
+			}
+		}
+		if sg.Len() != ref.Len() {
+			t.Fatalf("shards=%d: Len = %d, want %d", shards, sg.Len(), ref.Len())
+		}
+		for trial := 0; trial < 50; trial++ {
+			center := region.UniformPoint(rng)
+			radius := rng.Float64() * 250
+			got := sorted(sg.Within(nil, center, radius))
+			want := sorted(ref.Within(nil, center, radius))
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d trial %d: got %d ids, want %d", shards, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d trial %d: got %v, want %v", shards, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedGridQueryStraddlesShardBoundary(t *testing.T) {
+	// With 10 m cells and 4 shards over a 100 m square, the first shard
+	// boundary sits at y≈30. A query circle centered on it must pull items
+	// from both sides.
+	g := NewShardedGrid(Square(100), 10, 4)
+	g.Insert(1, Pt(50, 25)) // shard 0
+	g.Insert(2, Pt(50, 35)) // shard 1
+	g.Insert(3, Pt(50, 95)) // far shard
+	got := sorted(g.Within(nil, Pt(50, 30), 8))
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("straddling query = %v, want [1 2]", got)
+	}
+	// A radius covering the whole region must cross every shard.
+	if got := g.Within(nil, Pt(50, 50), 200); len(got) != 3 {
+		t.Errorf("full-region query = %v, want all 3 items", got)
+	}
+}
+
+func TestShardedGridItemsOnRegionBorder(t *testing.T) {
+	g := NewShardedGrid(Square(100), 10, 4)
+	g.Insert(1, Pt(0, 0))
+	g.Insert(2, Pt(100, 100)) // exactly on the max corner
+	g.Insert(3, Pt(0, 100))
+	g.Insert(4, Pt(100, 0))
+	g.Insert(5, Pt(-3, 50)) // clamped into the edge cells, like Grid
+	g.Insert(6, Pt(50, 104))
+	for id := int32(1); id <= 6; id++ {
+		p, ok := g.Position(id)
+		if !ok {
+			t.Fatalf("Position(%d) missing", id)
+		}
+		found := false
+		for _, got := range g.Within(nil, p, 0.001) {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("border item %d at %v not returned by Within", id, p)
+		}
+	}
+	if got := sorted(g.Within(nil, Pt(100, 100), 0)); len(got) != 1 || got[0] != 2 {
+		t.Errorf("zero-radius corner query = %v, want [2]", got)
+	}
+}
+
+func TestShardedGridUnknownIDs(t *testing.T) {
+	g := NewShardedGrid(Square(100), 10, 4)
+	g.Remove(42) // removing an absent id is a no-op
+	if g.Len() != 0 {
+		t.Errorf("Len after removing unknown id = %d", g.Len())
+	}
+	g.Move(42, Pt(10, 10)) // moving an unknown id inserts it, as with Grid
+	if p, ok := g.Position(42); !ok || p != Pt(10, 10) {
+		t.Errorf("Position after Move of unknown id = %v, %v", p, ok)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	g.Remove(42)
+	g.Remove(42)
+	if _, ok := g.Position(42); ok || g.Len() != 0 {
+		t.Error("remove of known-then-unknown id left state behind")
+	}
+}
+
+func TestShardedGridMoveAcrossShards(t *testing.T) {
+	g := NewShardedGrid(Square(100), 10, 4)
+	g.Insert(9, Pt(50, 5))
+	g.Move(9, Pt(50, 95)) // bottom band to top band
+	if ids := g.Within(nil, Pt(50, 5), 10); len(ids) != 0 {
+		t.Errorf("item still visible in old shard: %v", ids)
+	}
+	if ids := g.Within(nil, Pt(50, 95), 1); len(ids) != 1 || ids[0] != 9 {
+		t.Errorf("item not visible in new shard: %v", ids)
+	}
+}
+
+func TestShardedGridConcurrentChurn(t *testing.T) {
+	// Writers churn disjoint id ranges while readers run radius queries;
+	// run with -race to exercise the lock-free read path. Every reader must
+	// see only fully formed entries (ids in range, positions inside the
+	// region's clamp envelope).
+	region := Square(450)
+	g := NewShardedGrid(region, 105, 8)
+	const writers = 4
+	const perWriter = 200
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			base := int32(w * perWriter)
+			for i := 0; i < 3000; i++ {
+				id := base + int32(rng.Intn(perWriter))
+				switch rng.Intn(5) {
+				case 0:
+					g.Remove(id)
+				default:
+					g.Insert(id, region.UniformPoint(rng))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			var buf []int32
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				buf = g.Within(buf[:0], region.UniformPoint(rng), rng.Float64()*300)
+				for _, id := range buf {
+					if id < 0 || id >= writers*perWriter {
+						t.Errorf("reader saw malformed id %d", id)
+						return
+					}
+				}
+				_ = g.Len()
+				_, _ = g.Position(int32(rng.Intn(writers * perWriter)))
+			}
+		}(r)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	// The final state must be internally consistent: every stored item is
+	// findable at its position.
+	for id := int32(0); id < writers*perWriter; id++ {
+		p, ok := g.Position(id)
+		if !ok {
+			continue
+		}
+		found := false
+		for _, got := range g.Within(nil, p, 0.001) {
+			if got == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("item %d at %v lost from its cell after churn", id, p)
+		}
+	}
+}
+
+func BenchmarkShardedGridWithin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	region := Square(450)
+	g := NewShardedGrid(region, 105, 8)
+	for i := 0; i < 200; i++ {
+		g.Insert(int32(i), region.UniformPoint(rng))
+	}
+	var buf []int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Within(buf[:0], Pt(225, 225), 105)
+	}
+}

@@ -41,6 +41,41 @@ type QueryRecord struct {
 	TargetSuccess  bool // OnTime && TargetFidelity >= threshold
 }
 
+// NodeIndex is a read-only spatial index of sensor-node positions. Both
+// *geom.Grid and *geom.ShardedGrid satisfy it; node ids are the int32 ids
+// stored in the index.
+type NodeIndex interface {
+	// Within appends the ids of all items within radius r of p (inclusive)
+	// to dst and returns the extended slice.
+	Within(dst []int32, p geom.Point, r float64) []int32
+	// Position returns the stored position of id.
+	Position(id int32) (geom.Point, bool)
+}
+
+// indexPositions builds a NodeIndex over a dense position slice (node id i
+// at positions[i]), using the query radius as the cell size.
+func indexPositions(positions []geom.Point, rq float64) NodeIndex {
+	var region geom.Rect
+	if len(positions) > 0 {
+		region = geom.Rect{MinX: positions[0].X, MinY: positions[0].Y, MaxX: positions[0].X, MaxY: positions[0].Y}
+		for _, p := range positions[1:] {
+			region.MinX = math.Min(region.MinX, p.X)
+			region.MinY = math.Min(region.MinY, p.Y)
+			region.MaxX = math.Max(region.MaxX, p.X)
+			region.MaxY = math.Max(region.MaxY, p.Y)
+		}
+	}
+	cell := rq
+	if cell <= 0 {
+		cell = 1
+	}
+	g := geom.NewGrid(region, cell)
+	for i, p := range positions {
+		g.Insert(int32(i), p)
+	}
+	return g
+}
+
 // Evaluate scores gateway results against ground truth: the true query area
 // is the circle of radius rq around the user's actual position at each
 // deadline, and fidelity is the fraction of its sensor nodes whose readings
@@ -50,9 +85,18 @@ func Evaluate(results []core.PeriodResult, course mobility.Course, positions []g
 }
 
 // EvaluateAgg is Evaluate with an explicit aggregation function used to
-// compute each record's Value.
+// compute each record's Value. It indexes the positions once instead of
+// scanning all of them every period.
 func EvaluateAgg(results []core.PeriodResult, course mobility.Course, positions []geom.Point, rq float64, period time.Duration, agg core.AggKind) []QueryRecord {
+	return EvaluateAggIndexed(results, course, indexPositions(positions, rq), rq, period, agg)
+}
+
+// EvaluateAggIndexed is EvaluateAgg over a prebuilt spatial index of the
+// sensor positions. Several users of one run can be evaluated concurrently
+// against a shared index: the function only reads from it.
+func EvaluateAggIndexed(results []core.PeriodResult, course mobility.Course, idx NodeIndex, rq float64, period time.Duration, agg core.AggKind) []QueryRecord {
 	out := make([]QueryRecord, 0, len(results))
+	var buf []int32
 	for _, pr := range results {
 		rec := QueryRecord{
 			K:        pr.K,
@@ -65,11 +109,10 @@ func EvaluateAgg(results []core.PeriodResult, course mobility.Course, positions 
 			rec.Value = pr.Data.Value(agg)
 		}
 		userPos := course.PosAt(pr.Deadline)
-		inArea := make(map[radio.NodeID]bool)
-		for i, p := range positions {
-			if p.Within(userPos, rq) {
-				inArea[radio.NodeID(i)] = true
-			}
+		buf = idx.Within(buf[:0], userPos, rq)
+		inArea := make(map[radio.NodeID]bool, len(buf))
+		for _, id := range buf {
+			inArea[radio.NodeID(id)] = true
 		}
 		rec.AreaNodes = len(inArea)
 		seen := make(map[radio.NodeID]bool)
@@ -83,22 +126,19 @@ func EvaluateAgg(results []core.PeriodResult, course mobility.Course, positions 
 			}
 		}
 		if pr.Received {
-			targetNodes, targetHits := 0, 0
+			targetHits := 0
 			tseen := make(map[radio.NodeID]bool, len(pr.Data.Contribs))
 			for _, id := range pr.Data.Contribs {
-				if int(id) >= len(positions) {
+				pos, ok := idx.Position(int32(id))
+				if !ok {
 					continue
 				}
-				if positions[int(id)].Within(pr.Pickup, rq) && !tseen[id] {
+				if pos.Within(pr.Pickup, rq) && !tseen[id] {
 					tseen[id] = true
 					targetHits++
 				}
 			}
-			for _, p := range positions {
-				if p.Within(pr.Pickup, rq) {
-					targetNodes++
-				}
-			}
+			targetNodes := len(idx.Within(buf[:0], pr.Pickup, rq))
 			if targetNodes > 0 {
 				rec.TargetFidelity = float64(targetHits) / float64(targetNodes)
 			} else {

@@ -91,6 +91,22 @@ func PlumeField(center Point, amplitude, sigma, driftX, driftY float64) Field {
 	return field.GaussianPlume{Center: center, Amplitude: amplitude, Sigma: sigma, Drift: geom.V(driftX, driftY)}
 }
 
+// ServiceConfig exposes the concurrency knobs of the sharded multi-user
+// query engine: how many spatial shards the sensor index is split into and
+// how many workers dispatch independent users' work. The zero value selects
+// sane defaults (geom.DefaultShards spatial shards, one worker per core).
+// Concurrency never changes results — only wall time.
+type ServiceConfig struct {
+	// Shards is the spatial shard count of the node index (0 = auto).
+	Shards int
+	// Workers is the dispatch worker-pool width (0 = one per core).
+	Workers int
+}
+
+// DefaultServiceConfig returns the automatic sizing (shards and workers
+// chosen from the host).
+func DefaultServiceConfig() ServiceConfig { return ServiceConfig{} }
+
 // Simulation configures one MobiQuery run. Construct with
 // DefaultSimulation and override fields as needed.
 type Simulation struct {
@@ -132,6 +148,9 @@ type Simulation struct {
 
 	// Field is what the sensors measure.
 	Field Field
+
+	// Service sizes the concurrent multi-user query engine.
+	Service ServiceConfig
 }
 
 // DefaultSimulation returns the paper's Section 6.1 settings: 200 nodes in
@@ -159,6 +178,7 @@ func DefaultSimulation() Simulation {
 		AdvanceTime:    sc.AdvanceTime,
 		GPSError:       sc.GPSError,
 		Field:          sc.Field,
+		Service:        ServiceConfig{Shards: sc.Shards, Workers: sc.Workers},
 	}
 }
 
@@ -184,6 +204,8 @@ func (s Simulation) scenario() experiment.Scenario {
 	sc.AdvanceTime = s.AdvanceTime
 	sc.GPSError = s.GPSError
 	sc.Field = s.Field
+	sc.Shards = s.Service.Shards
+	sc.Workers = s.Service.Workers
 	return sc
 }
 
@@ -259,6 +281,97 @@ func Run(s Simulation) Result {
 
 // SuccessThreshold is the fidelity cutoff used for SuccessRatio.
 const SuccessThreshold = metrics.FidelityThreshold
+
+// ScaleConfig configures the multi-user scale scenario: many mobile users
+// issuing instantaneous area queries over a large sensor field, driven
+// directly through the sharded concurrent query engine (no radio
+// simulation). Construct with DefaultScaleConfig and override as needed.
+type ScaleConfig struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Nodes sensors over a RegionSide × RegionSide square; Users concurrent
+	// mobile users each querying a circle of QueryRadius.
+	Nodes       int
+	Users       int
+	RegionSide  float64
+	QueryRadius float64
+	// Each of Rounds rounds moves every user Step meters and re-evaluates
+	// every query area.
+	Step   float64
+	Rounds int
+	// Service sizes the engine; Serial forces the single-threaded dispatch
+	// baseline for comparison.
+	Service ServiceConfig
+	Serial  bool
+	// Field is what the sensors measure.
+	Field Field
+}
+
+// DefaultScaleConfig returns the headline scale scenario: 10k concurrent
+// users over a 100k-node field in a 10 km square.
+func DefaultScaleConfig() ScaleConfig {
+	c := experiment.DefaultScale()
+	return ScaleConfig{
+		Seed:        c.Seed,
+		Nodes:       c.Nodes,
+		Users:       c.Users,
+		RegionSide:  c.RegionSide,
+		QueryRadius: c.Radius,
+		Step:        c.Step,
+		Rounds:      c.Rounds,
+		Field:       c.Field,
+	}
+}
+
+func (c ScaleConfig) scale() experiment.ScaleConfig {
+	return experiment.ScaleConfig{
+		Seed:       c.Seed,
+		Nodes:      c.Nodes,
+		Users:      c.Users,
+		RegionSide: c.RegionSide,
+		Radius:     c.QueryRadius,
+		Step:       c.Step,
+		Rounds:     c.Rounds,
+		Shards:     c.Service.Shards,
+		Workers:    c.Service.Workers,
+		Serial:     c.Serial,
+		Field:      c.Field,
+	}
+}
+
+// Validate reports configuration errors without running anything.
+func (c ScaleConfig) Validate() error { return c.scale().Validate() }
+
+// ScaleResult summarizes a scale run. All fields except Elapsed are pure
+// functions of the configuration, independent of sharding and worker count.
+type ScaleResult struct {
+	// Evaluations is Users × Rounds completed area evaluations.
+	Evaluations int
+	// MeanAreaNodes is the mean in-area sensor count per evaluation;
+	// MeanValue the mean Avg aggregate over non-empty areas.
+	MeanAreaNodes float64
+	MeanValue     float64
+	// Checksum is an order-independent digest of every per-user result.
+	// Two runs of the same configuration must agree on it regardless of
+	// Service sizing and Serial — compare serial and sharded runs to
+	// verify the engine's concurrency invariant.
+	Checksum float64
+	// Elapsed is the wall time of the dispatch phase.
+	Elapsed time.Duration
+}
+
+// RunScale executes the scale scenario to completion. It panics on invalid
+// configuration (check Validate first for error handling).
+func RunScale(c ScaleConfig) ScaleResult {
+	r := experiment.RunScale(c.scale())
+	return ScaleResult{
+		Evaluations:   r.Evaluations,
+		MeanAreaNodes: r.MeanArea,
+		MeanValue:     r.MeanValue,
+		Checksum:      r.Checksum,
+		Elapsed:       r.Elapsed,
+	}
+}
 
 // JITStorageBound returns the paper's equation (12) bound on the number of
 // query trees held ahead of the user under just-in-time prefetching.
