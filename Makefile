@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench bench-json fmt vet check
 
 all: build
 
@@ -20,6 +20,11 @@ race:
 # directly for real measurements.
 bench:
 	$(GO) test -run=xxx -bench=. -benchtime=1x ./...
+
+# The same pass as a machine-readable test2json stream; CI uploads the
+# result as the BENCH_pr.json artifact to record the perf trajectory.
+bench-json:
+	$(GO) test -json -run=xxx -bench=. -benchtime=1x ./... > BENCH_pr.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -1,6 +1,6 @@
 // Package mobiquery is a library reproduction of "A Spatiotemporal Query
 // Service for Mobile Users in Sensor Networks" (Lu, Xing, Chipara, Fok,
-// Bhattacharya; ICDCS 2005).
+// Bhattacharya; ICDCS 2005), grown into a long-lived query service.
 //
 // MobiQuery lets a mobile user periodically pull aggregated sensor readings
 // from a circular area around their current position, with per-period
@@ -10,14 +10,27 @@
 // at each hop until the latest safe moment (the paper's equation 10), so
 // sleeping nodes wake exactly when their readings are needed.
 //
-// The package wraps a complete discrete-event reproduction of the paper's
-// stack — radio medium, CSMA/PSM link layer, CCP coverage backbone,
-// geographic routing, motion prediction, and the MobiQuery protocol — behind
-// a small configuration API:
+// The package has two entry styles:
+//
+// The session API (service.go, subscription.go) runs MobiQuery as a
+// service: Open stands up the sharded query engine over a sensor field
+// once, then any number of mobile users Subscribe and Unsubscribe while it
+// runs, each receiving one aggregate result per query period over a
+// channel, evaluated under the period/deadline/freshness contract of their
+// QuerySpec:
+//
+//	svc, err := mobiquery.Open(ctx, mobiquery.DefaultNetworkConfig())
+//	sub, err := svc.Subscribe(ctx, spec, mobiquery.LinearMotion(start, 4, 0))
+//	for r := range sub.Results() { ... }
+//
+// The batch API (compat.go) wraps the complete discrete-event reproduction
+// of the paper's stack — radio medium, CSMA/PSM link layer, CCP coverage
+// backbone, geographic routing, motion prediction, and the MobiQuery
+// protocol — behind one-shot calls:
 //
 //	cfg := mobiquery.DefaultSimulation()
 //	cfg.SleepPeriod = 15 * time.Second
-//	result := mobiquery.Run(cfg)
+//	result, err := mobiquery.RunE(cfg)
 //	fmt.Println(result.SuccessRatio)
 //
 // For reproducing the paper's figures, see internal/experiment via the
@@ -58,6 +71,9 @@ const (
 	Planner      = experiment.ProfilerExact
 	GPSPredictor = experiment.ProfilerGPS
 )
+
+// AggKind selects the aggregation function of a query result.
+type AggKind = core.AggKind
 
 // Aggregation functions for query results.
 const (
@@ -107,8 +123,8 @@ type ServiceConfig struct {
 // chosen from the host).
 func DefaultServiceConfig() ServiceConfig { return ServiceConfig{} }
 
-// Simulation configures one MobiQuery run. Construct with
-// DefaultSimulation and override fields as needed.
+// Simulation configures one batch MobiQuery run through the discrete-event
+// stack. Construct with DefaultSimulation and override fields as needed.
 type Simulation struct {
 	// Seed makes the run reproducible.
 	Seed int64
@@ -212,9 +228,11 @@ func (s Simulation) scenario() experiment.Scenario {
 // Validate reports configuration errors without running anything.
 func (s Simulation) Validate() error { return s.scenario().Validate() }
 
-// QueryResult is the outcome of one query period.
+// QueryResult is the outcome of one query period, both in batch Results
+// and on a Subscription's stream.
 type QueryResult struct {
-	// K is the 1-based period index; the result was due at Deadline.
+	// K is the 1-based period index; the result was due at Deadline
+	// (virtual time from the start of the run or session).
 	K        int
 	Deadline time.Duration
 	// Received and OnTime report delivery; Value is the aggregate under
@@ -227,9 +245,24 @@ type QueryResult struct {
 	AreaNodes    int
 	Fidelity     float64
 	Success      bool
+
+	// The remaining fields are populated only on the streaming path
+	// (Service.Subscribe), which evaluates the temporal contract
+	// explicitly; batch runs leave them zero.
+
+	// EvaluatedAt is when the service actually computed the result;
+	// Lateness is EvaluatedAt - Deadline when that exceeds the spec's
+	// deadline slack (OnTime is then false).
+	EvaluatedAt time.Duration
+	Lateness    time.Duration
+	// StaleNodes counts in-area sensors excluded because their newest
+	// reading missed the freshness window; MaxStaleness is the age, at the
+	// deadline, of the oldest reading that did contribute.
+	StaleNodes   int
+	MaxStaleness time.Duration
 }
 
-// Result summarizes a run.
+// Result summarizes a batch run.
 type Result struct {
 	// Queries holds one entry per query period.
 	Queries []QueryResult
@@ -247,36 +280,6 @@ type Result struct {
 	MaxPrefetchLength int
 	// BackboneNodes counts the always-on CCP backbone.
 	BackboneNodes int
-}
-
-// Run executes the simulation to completion. It panics on invalid
-// configuration (check Validate first for error handling).
-func Run(s Simulation) Result {
-	sc := s.scenario()
-	rr := experiment.Run(sc)
-	out := Result{
-		SuccessRatio:         rr.SuccessRatio,
-		MeanFidelity:         rr.MeanFidelity,
-		PowerPerSleepingNode: rr.PowerSleeper,
-		PowerPerBackboneNode: rr.PowerBackbone,
-		MaxPrefetchLength:    rr.MaxPrefetchLength,
-		BackboneNodes:        rr.BackboneNodes,
-		Queries:              make([]QueryResult, 0, len(rr.Records)),
-	}
-	for _, r := range rr.Records {
-		out.Queries = append(out.Queries, QueryResult{
-			K:            r.K,
-			Deadline:     r.Deadline,
-			Received:     r.Received,
-			OnTime:       r.OnTime,
-			Value:        r.Value,
-			Contributors: r.Contributors,
-			AreaNodes:    r.AreaNodes,
-			Fidelity:     r.Fidelity,
-			Success:      r.Success,
-		})
-	}
-	return out
 }
 
 // SuccessThreshold is the fidelity cutoff used for SuccessRatio.
@@ -351,40 +354,13 @@ type ScaleResult struct {
 	// MeanValue the mean Avg aggregate over non-empty areas.
 	MeanAreaNodes float64
 	MeanValue     float64
-	// Checksum is an order-independent digest of every per-user result.
-	// Two runs of the same configuration must agree on it regardless of
-	// Service sizing and Serial — compare serial and sharded runs to
-	// verify the engine's concurrency invariant.
-	Checksum float64
+	// Checksum is an order-independent integer digest of every per-user
+	// result. Two runs of the same configuration must agree on it
+	// regardless of Service sizing and Serial — compare serial and sharded
+	// runs to verify the engine's concurrency invariant.
+	Checksum uint64
 	// Elapsed is the wall time of the dispatch phase.
 	Elapsed time.Duration
-}
-
-// RunScale executes the scale scenario to completion. It panics on invalid
-// configuration (check Validate first for error handling).
-func RunScale(c ScaleConfig) ScaleResult {
-	r := experiment.RunScale(c.scale())
-	return ScaleResult{
-		Evaluations:   r.Evaluations,
-		MeanAreaNodes: r.MeanArea,
-		MeanValue:     r.MeanValue,
-		Checksum:      r.Checksum,
-		Elapsed:       r.Elapsed,
-	}
-}
-
-// JITStorageBound returns the paper's equation (12) bound on the number of
-// query trees held ahead of the user under just-in-time prefetching.
-func JITStorageBound(sleepPeriod, freshness, period time.Duration) int {
-	return analysis.StorageJIT(analysis.QueryParams{Period: period, Fresh: freshness, Sleep: sleepPeriod})
-}
-
-// WarmupBound returns the equation (16) bound on the warmup interval after
-// a motion profile with advance time ta arrives, assuming the prefetch
-// message travels much faster than the user.
-func WarmupBound(sleepPeriod, freshness, period, ta time.Duration) time.Duration {
-	q := analysis.QueryParams{Period: period, Fresh: freshness, Sleep: sleepPeriod}
-	return analysis.WarmupInterval(q, ta, 4, 4000)
 }
 
 // TeamMember configures one user in a multi-user simulation. Each member
@@ -401,45 +377,16 @@ type TeamMember struct {
 	VelocityX, VelocityY float64
 }
 
-// RunTeam runs base's network with several concurrent mobile users and
-// returns one Result per member, in order. The members share the sensor
-// network, so their query traffic contends: the paper's storage and
-// contention analysis (Section 5) is about exactly this load.
-func RunTeam(base Simulation, members []TeamMember) []Result {
-	sc := base.scenario()
-	users := make([]experiment.UserSpec, len(members))
-	for i, m := range members {
-		users[i] = experiment.UserSpec{
-			QueryID:  m.QueryID,
-			Scheme:   m.Scheme,
-			Start:    m.Start,
-			Velocity: geom.V(m.VelocityX, m.VelocityY),
-		}
-	}
-	rrs := experiment.RunMulti(sc, users)
-	out := make([]Result, len(rrs))
-	for i, rr := range rrs {
-		res := Result{
-			SuccessRatio:      rr.SuccessRatio,
-			MeanFidelity:      rr.MeanFidelity,
-			MaxPrefetchLength: rr.MaxPrefetchLength,
-			BackboneNodes:     rr.BackboneNodes,
-			Queries:           make([]QueryResult, 0, len(rr.Records)),
-		}
-		for _, r := range rr.Records {
-			res.Queries = append(res.Queries, QueryResult{
-				K:            r.K,
-				Deadline:     r.Deadline,
-				Received:     r.Received,
-				OnTime:       r.OnTime,
-				Value:        r.Value,
-				Contributors: r.Contributors,
-				AreaNodes:    r.AreaNodes,
-				Fidelity:     r.Fidelity,
-				Success:      r.Success,
-			})
-		}
-		out[i] = res
-	}
-	return out
+// JITStorageBound returns the paper's equation (12) bound on the number of
+// query trees held ahead of the user under just-in-time prefetching.
+func JITStorageBound(sleepPeriod, freshness, period time.Duration) int {
+	return analysis.StorageJIT(analysis.QueryParams{Period: period, Fresh: freshness, Sleep: sleepPeriod})
+}
+
+// WarmupBound returns the equation (16) bound on the warmup interval after
+// a motion profile with advance time ta arrives, assuming the prefetch
+// message travels much faster than the user.
+func WarmupBound(sleepPeriod, freshness, period, ta time.Duration) time.Duration {
+	q := analysis.QueryParams{Period: period, Fresh: freshness, Sleep: sleepPeriod}
+	return analysis.WarmupInterval(q, ta, 4, 4000)
 }

@@ -9,6 +9,7 @@ package mobiquery
 // recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -262,6 +263,68 @@ func BenchmarkScaleScenario(b *testing.B) {
 		res := experiment.RunScale(cfg)
 		b.ReportMetric(float64(res.Evaluations)/res.Elapsed.Seconds(), "evals/s")
 		b.ReportMetric(res.MeanArea, "mean-area-nodes")
+	}
+}
+
+// BenchmarkSessionStream measures the session API end to end: a service
+// over a 20k-node field streaming 200 subscribers for 30 virtual seconds
+// of 1 s periods with freshness windows. Reports periods per second of
+// wall time.
+func BenchmarkSessionStream(b *testing.B) {
+	nc := NetworkConfig{Seed: 1, Nodes: 20_000, RegionSide: 5000, SamplePeriod: time.Second}
+	spec := QuerySpec{Radius: 150, Period: time.Second, Freshness: time.Second}
+	for i := 0; i < b.N; i++ {
+		svc, err := Open(context.Background(), nc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		region := geom.Square(nc.RegionSide)
+		subs := make([]*Subscription, 200)
+		for j := range subs {
+			p := region.UniformPoint(rng)
+			subs[j], err = svc.Subscribe(context.Background(), spec, LinearMotion(p, 2, 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		start := time.Now()
+		for tick := 0; tick < 30; tick++ {
+			if err := svc.Advance(time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		delivered := 0
+		for _, sub := range subs {
+			st := sub.Stats()
+			delivered += st.Delivered + st.Dropped
+		}
+		if delivered != 200*30 {
+			b.Fatalf("streamed %d periods, want %d", delivered, 200*30)
+		}
+		b.ReportMetric(float64(delivered)/elapsed.Seconds(), "periods/s")
+		svc.Close()
+	}
+}
+
+// BenchmarkChurnScenario runs the dynamic-membership harness (streaming
+// temporal evaluation with users joining and leaving) at a reduced
+// population and reports evaluations per second.
+func BenchmarkChurnScenario(b *testing.B) {
+	cfg := experiment.DefaultChurn()
+	cfg.Nodes = 2000
+	cfg.RegionSide = 1000
+	cfg.Static = 20
+	cfg.Churners = 40
+	cfg.Duration = 30 * time.Second
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunChurn(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Evaluations)/res.Elapsed.Seconds(), "evals/s")
+		b.ReportMetric(res.MeanFresh, "fresh-sensors")
 	}
 }
 

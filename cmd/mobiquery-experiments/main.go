@@ -28,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mobiquery-experiments", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, or all")
+		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, churn, or all")
 		runs    = fs.Int("runs", 0, "topologies per data point (0 = paper's count)")
 		scale   = fs.Float64("scale", 1, "session length scale factor (1 = paper durations)")
 		seed    = fs.Int64("seed", 1, "base seed")
@@ -62,6 +62,10 @@ func run(args []string) error {
 		fmt.Println(experiment.Ablation(opts).Format())
 	case "scale":
 		if err := printScale(*seed, *users, *nodes, *shards, *workers); err != nil {
+			return err
+		}
+	case "churn":
+		if err := printChurn(*seed, *users, *nodes, *shards, *workers); err != nil {
 			return err
 		}
 	case "all":
@@ -120,5 +124,45 @@ func printScale(seed int64, users, nodes, shards, workers int) error {
 	fmt.Printf("  sharded dispatch: %10v  (%.0f evals/s)\n", pres.Elapsed.Truncate(time.Millisecond), float64(pres.Evaluations)/pres.Elapsed.Seconds())
 	fmt.Printf("  speedup: %.2fx   mean in-area sensors: %.1f   mean value: %.3f\n",
 		sres.Elapsed.Seconds()/pres.Elapsed.Seconds(), pres.MeanArea, pres.MeanValue)
+	return nil
+}
+
+// printChurn runs the dynamic-membership scenario — streaming users with
+// freshness windows and deadlines, joining and leaving mid-run — twice:
+// once with churners and once with the static population alone, and checks
+// that churn left the static users' results untouched.
+func printChurn(seed int64, users, nodes, shards, workers int) error {
+	cfg := experiment.DefaultChurn()
+	cfg.Seed = seed
+	if users != 0 {
+		cfg.Static = users
+	}
+	if nodes != 0 {
+		cfg.Nodes = nodes
+	}
+	cfg.Shards = shards
+	cfg.Workers = workers
+
+	fmt.Printf("churn scenario: %d static + %d churning users on a %d-node field (%v session, Tperiod=%v, Tfresh=%v)\n",
+		cfg.Static, cfg.Churners, cfg.Nodes, cfg.Duration, cfg.Period, cfg.Fresh)
+
+	res, err := experiment.RunChurn(cfg)
+	if err != nil {
+		return err
+	}
+	alone := cfg
+	alone.Churners = 0
+	ref, err := experiment.RunChurn(alone)
+	if err != nil {
+		return err
+	}
+	if res.StaticDigest != ref.StaticDigest {
+		return fmt.Errorf("churn perturbed the static users (digests %#x vs %#x) — engine bug", res.StaticDigest, ref.StaticDigest)
+	}
+	fmt.Printf("  %d evaluations (%d late, %d stale readings excluded) in %v\n",
+		res.Evaluations, res.Late, res.StaleExclusions, res.Elapsed.Truncate(time.Millisecond))
+	fmt.Printf("  %d joins, %d leaves, peak %d live users, %.1f fresh sensors per result\n",
+		res.Joins, res.Leaves, res.PeakLive, res.MeanFresh)
+	fmt.Printf("  static users' digest unchanged by churn: %#x\n", res.StaticDigest)
 	return nil
 }

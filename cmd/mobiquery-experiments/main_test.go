@@ -25,3 +25,12 @@ func TestRunScaleScenarioSmall(t *testing.T) {
 		t.Fatalf("run failed: %v", err)
 	}
 }
+
+func TestRunChurnScenarioSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the churn scenario")
+	}
+	if err := run([]string{"-fig", "churn", "-users", "10", "-nodes", "2000"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}

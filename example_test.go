@@ -1,0 +1,70 @@
+package mobiquery_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mobiquery"
+)
+
+// ExampleOpen stands a service up over the default sensor field and shows
+// that configuration problems come back as errors, not panics.
+func ExampleOpen() {
+	svc, err := mobiquery.Open(context.Background(), mobiquery.DefaultNetworkConfig())
+	if err != nil {
+		fmt.Println("open failed:", err)
+		return
+	}
+	defer svc.Close()
+	fmt.Printf("service over %d nodes\n", svc.NodeCount())
+
+	_, err = mobiquery.Open(context.Background(), mobiquery.NetworkConfig{Nodes: -1})
+	fmt.Println("invalid config is an error:", err != nil)
+	// Output:
+	// service over 200 nodes
+	// invalid config is an error: true
+}
+
+// ExampleService_Subscribe streams three query periods to a user standing
+// in the middle of the field: one aggregate per period, each evaluated
+// under the spec's freshness window and deadline.
+func ExampleService_Subscribe() {
+	ctx := context.Background()
+	svc, err := mobiquery.Open(ctx, mobiquery.DefaultNetworkConfig(),
+		mobiquery.WithAlignedSampling())
+	if err != nil {
+		fmt.Println("open failed:", err)
+		return
+	}
+	defer svc.Close()
+
+	spec := mobiquery.QuerySpec{
+		Radius:    150,             // meters around the user
+		Period:    2 * time.Second, // one result per period
+		Freshness: time.Second,     // readings must be this fresh
+	}
+	sub, err := svc.Subscribe(ctx, spec, mobiquery.StaticPosition(mobiquery.Pt(225, 225)))
+	if err != nil {
+		fmt.Println("subscribe failed:", err)
+		return
+	}
+
+	// The default clock is manual, so the example is exactly
+	// reproducible; WithRealTime ties it to the wall clock instead.
+	for i := 0; i < 3; i++ {
+		svc.Advance(2 * time.Second)
+	}
+	sub.Close()
+	for r := range sub.Results() {
+		status := "late"
+		if r.OnTime {
+			status = "on time"
+		}
+		fmt.Printf("k=%d value=%.0f %s\n", r.K, r.Value, status)
+	}
+	// Output:
+	// k=1 value=20 on time
+	// k=2 value=20 on time
+	// k=3 value=20 on time
+}

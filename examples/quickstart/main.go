@@ -1,39 +1,81 @@
-// Quickstart: run a paper-default MobiQuery session and print the headline
-// metrics. This is the smallest possible use of the public API.
+// Quickstart: the session API. Open a MobiQuery service over a sensor
+// field, subscribe a walking user's streaming query, and read one
+// aggregate per period off the subscription channel — then compare with
+// the one-shot batch API over the full discrete-event stack.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"mobiquery"
 )
 
 func main() {
+	ctx := context.Background()
+
+	// --- Session API -----------------------------------------------------
+	// One live service; users join and leave while it runs.
+	svc, err := mobiquery.Open(ctx, mobiquery.DefaultNetworkConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	fmt.Printf("service open: %d sensor nodes\n", svc.NodeCount())
+
+	spec := mobiquery.QuerySpec{
+		Radius:    150,                    // meters around the user
+		Period:    2 * time.Second,        // one result per period
+		Deadline:  200 * time.Millisecond, // slack before a result is late
+		Freshness: time.Second,            // readings must be this fresh
+		Lifetime:  20 * time.Second,       // ten periods, then auto-close
+	}
+	sub, err := svc.Subscribe(ctx, spec, mobiquery.LinearMotion(mobiquery.Pt(50, 100), 4, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The default clock is manual (exactly reproducible); WithRealTime
+	// ties it to the wall clock instead.
+	go func() {
+		for i := 0; i < 10; i++ {
+			if err := svc.Advance(2 * time.Second); err != nil {
+				return
+			}
+		}
+	}()
+
+	fmt.Println("\nstreaming results (walking user, 1s freshness window):")
+	for r := range sub.Results() {
+		status := "on time"
+		if !r.OnTime {
+			status = fmt.Sprintf("LATE by %v", r.Lateness)
+		}
+		fmt.Printf("  k=%-2d value %5.1f  %3d fresh / %d in-area sensors  staleness %v  %s\n",
+			r.K, r.Value, r.Contributors, r.AreaNodes, r.MaxStaleness.Truncate(time.Millisecond), status)
+	}
+	st := sub.Stats()
+	fmt.Printf("session over: %d delivered, %d late, %d dropped\n", st.Delivered, st.Late, st.Dropped)
+
+	// --- Batch API -------------------------------------------------------
+	// The same walking-user query through the paper's full discrete-event
+	// stack (radio, PSM, prefetching), one shot.
 	sim := mobiquery.DefaultSimulation()
-	sim.Duration = 120 * time.Second // trim the paper's 400 s for a demo
+	sim.Duration = 120 * time.Second
 	sim.Lifetime = 116 * time.Second
 	sim.SleepPeriod = 9 * time.Second
-
-	fmt.Println("MobiQuery quickstart: walking user, 200 nodes, 9s sleep period")
-	res := mobiquery.Run(sim)
-
-	fmt.Printf("query periods     %d\n", len(res.Queries))
-	fmt.Printf("success ratio     %.1f%%  (on-time with >=95%% fidelity)\n", res.SuccessRatio*100)
-	fmt.Printf("mean fidelity     %.1f%%\n", res.MeanFidelity*100)
-	fmt.Printf("backbone nodes    %d\n", res.BackboneNodes)
-	fmt.Printf("sleeper power     %.3f W\n", res.PowerPerSleepingNode)
-	fmt.Printf("prefetch length   %d trees ahead (eq.12 bound: %d)\n",
+	res, err := mobiquery.RunE(sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbatch run (9s sleep period, JIT prefetching):\n")
+	fmt.Printf("  query periods   %d\n", len(res.Queries))
+	fmt.Printf("  success ratio   %.1f%%  (on-time with >=95%% fidelity)\n", res.SuccessRatio*100)
+	fmt.Printf("  mean fidelity   %.1f%%\n", res.MeanFidelity*100)
+	fmt.Printf("  sleeper power   %.3f W\n", res.PowerPerSleepingNode)
+	fmt.Printf("  prefetch length %d trees ahead (eq.12 bound: %d)\n",
 		res.MaxPrefetchLength,
 		mobiquery.JITStorageBound(sim.SleepPeriod, sim.Freshness, sim.Period))
-
-	fmt.Println("\nfirst ten query periods:")
-	for _, q := range res.Queries[:10] {
-		status := "ok"
-		if !q.Success {
-			status = "miss"
-		}
-		fmt.Printf("  k=%-2d  fidelity %5.1f%%  %d/%d nodes  %s\n",
-			q.K, q.Fidelity*100, q.Contributors, q.AreaNodes, status)
-	}
 }

@@ -53,11 +53,16 @@ const queryStripes = 64
 
 // liveQuery is one registered user query: a radius around a mobile
 // waypoint. The waypoint is published through an atomic pointer so updates
-// never block evaluation.
+// never block evaluation. Queries registered through RegisterTemporalE
+// additionally carry streaming evaluation state (see temporal.go), guarded
+// by tmu so per-period evaluations of one query are serialized while
+// distinct queries never contend.
 type liveQuery struct {
-	id     uint32
-	radius float64
-	pos    atomic.Pointer[geom.Point]
+	id       uint32
+	radius   float64
+	pos      atomic.Pointer[geom.Point]
+	tmu      sync.Mutex
+	temporal *temporalState
 }
 
 type engineStripe struct {
@@ -80,19 +85,30 @@ type QueryEngine struct {
 	cfg     EngineConfig
 	grid    *geom.ShardedGrid
 	fld     field.Field
+	sampler Sampler
 	stripes [queryStripes]engineStripe
 	nq      atomic.Int64
 }
 
 // NewQueryEngine creates an engine over region. cellSize tunes the spatial
 // hash (the typical query radius or the radio range are good choices); fld
-// is the sensor field sampled during evaluation.
+// is the sensor field sampled during evaluation. It panics on invalid
+// input; NewQueryEngineE is the error-returning variant.
 func NewQueryEngine(region geom.Rect, cellSize float64, fld field.Field, cfg EngineConfig) *QueryEngine {
-	if err := cfg.Validate(); err != nil {
+	e, err := NewQueryEngineE(region, cellSize, fld, cfg)
+	if err != nil {
 		panic(err)
 	}
+	return e
+}
+
+// NewQueryEngineE is NewQueryEngine reporting invalid input as an error.
+func NewQueryEngineE(region geom.Rect, cellSize float64, fld field.Field, cfg EngineConfig) (*QueryEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if fld == nil {
-		panic("core: query engine needs a field")
+		return nil, fmt.Errorf("core: query engine needs a field")
 	}
 	cfg = cfg.normalized()
 	e := &QueryEngine{
@@ -103,7 +119,7 @@ func NewQueryEngine(region geom.Rect, cellSize float64, fld field.Field, cfg Eng
 	for i := range e.stripes {
 		e.stripes[i].queries = make(map[uint32]*liveQuery)
 	}
-	return e
+	return e, nil
 }
 
 // Workers returns the dispatch pool size.
@@ -131,26 +147,41 @@ func (e *QueryEngine) stripe(queryID uint32) *engineStripe {
 
 // Register adds a live user query of the given radius centered at pos.
 // QueryIDs must be unique and non-zero; radius must be positive. Distinct
-// users may register concurrently.
+// users may register concurrently. It panics on invalid input; RegisterE
+// is the error-returning variant.
 func (e *QueryEngine) Register(queryID uint32, radius float64, pos geom.Point) {
+	if err := e.RegisterE(queryID, radius, pos); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterE is Register reporting invalid input (zero id, non-positive
+// radius, duplicate id) as an error. A query id freed by Deregister may be
+// registered again.
+func (e *QueryEngine) RegisterE(queryID uint32, radius float64, pos geom.Point) error {
+	return e.register(queryID, radius, pos, nil)
+}
+
+func (e *QueryEngine) register(queryID uint32, radius float64, pos geom.Point, t *temporalState) error {
 	if queryID == 0 {
-		panic("core: query id must be non-zero")
+		return fmt.Errorf("core: query id must be non-zero")
 	}
 	if radius <= 0 {
-		panic("core: query radius must be positive")
+		return fmt.Errorf("core: query radius must be positive")
 	}
-	q := &liveQuery{id: queryID, radius: radius}
+	q := &liveQuery{id: queryID, radius: radius, temporal: t}
 	p := pos
 	q.pos.Store(&p)
 	st := e.stripe(queryID)
 	st.mu.Lock()
 	if _, dup := st.queries[queryID]; dup {
 		st.mu.Unlock()
-		panic(fmt.Sprintf("core: duplicate query id %d", queryID))
+		return fmt.Errorf("core: duplicate query id %d", queryID)
 	}
 	st.queries[queryID] = q
 	st.mu.Unlock()
 	e.nq.Add(1)
+	return nil
 }
 
 // Deregister removes a live query. Unknown ids are a no-op.

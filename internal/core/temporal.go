@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mobiquery/internal/geom"
+	"mobiquery/internal/radio"
+	"mobiquery/internal/sim"
+)
+
+// Sampler reports when node id most recently refreshed its reading at or
+// before virtual time at; ok is false when the node has not sampled yet.
+// It models the duty-cycled sampling schedule of the sensor field: under
+// PSM a node's reading is only as fresh as its last wake-up, which is what
+// the paper's Tfresh window is measured against. A Sampler must be pure
+// (same arguments, same answer) and safe for concurrent use.
+type Sampler func(id int32, at sim.Time) (sim.Time, bool)
+
+// TemporalSpec is the temporal contract of a streaming query: one result
+// per Period, due Deadline after each period boundary, computed from
+// readings no staler than Fresh at the boundary. It is the engine-level
+// counterpart of the paper's (Tperiod, Td, Tfresh) triple for queries
+// evaluated through the instantaneous engine rather than the radio stack.
+type TemporalSpec struct {
+	// Period is Tperiod: one result is due every Period.
+	Period time.Duration
+	// Deadline is the slack after a period boundary before the result
+	// counts as late. Zero means strict: any evaluation after the boundary
+	// is late.
+	Deadline time.Duration
+	// Fresh is Tfresh: readings older than this at the period boundary are
+	// excluded from the result. Zero disables the window (any reading
+	// qualifies, however old).
+	Fresh time.Duration
+}
+
+// Validate reports specification errors.
+func (ts TemporalSpec) Validate() error {
+	switch {
+	case ts.Period <= 0:
+		return fmt.Errorf("core: temporal period %v must be positive", ts.Period)
+	case ts.Deadline < 0:
+		return fmt.Errorf("core: temporal deadline slack %v must be non-negative", ts.Deadline)
+	case ts.Fresh < 0:
+		return fmt.Errorf("core: freshness window %v must be non-negative", ts.Fresh)
+	}
+	return nil
+}
+
+// temporalState is the per-query evaluation state behind the streaming
+// methods: which period is due next, the newest reading consumed so far,
+// and the deadline ledger. Guarded by its own mutex so streaming
+// evaluations of distinct queries never contend.
+type temporalState struct {
+	spec        TemporalSpec
+	t0          sim.Time
+	nextK       int // 1-based index of the next period to evaluate
+	lastReading sim.Time
+	hasReading  bool
+	evaluated   int
+	late        int
+}
+
+// TemporalStats is a snapshot of one query's temporal accounting.
+type TemporalStats struct {
+	// NextK is the 1-based index of the next period due.
+	NextK int
+	// Evaluated and Late count periods evaluated so far and how many of
+	// them missed their deadline.
+	Evaluated int
+	Late      int
+	// LastReading is the newest reading timestamp consumed by any window
+	// evaluation; HasReading is false until one contributing reading has
+	// been seen.
+	LastReading sim.Time
+	HasReading  bool
+}
+
+// WindowResult is one period's freshness-windowed evaluation. The embedded
+// AreaResult covers only the fresh contributors; stale in-area nodes are
+// counted but excluded from the aggregate.
+type WindowResult struct {
+	AreaResult
+	// K is the 1-based period index; the result was due at Due and
+	// actually evaluated at EvaluatedAt.
+	K           int
+	Due         sim.Time
+	EvaluatedAt sim.Time
+	// Late reports EvaluatedAt > Due + spec.Deadline; Lateness is then
+	// EvaluatedAt - Due (zero when on time).
+	Late     bool
+	Lateness time.Duration
+	// AreaNodes counts every in-area node; StaleNodes those excluded for
+	// missing the freshness window.
+	AreaNodes  int
+	StaleNodes int
+	// MaxStaleness is the age at Due of the oldest contributing reading.
+	MaxStaleness time.Duration
+}
+
+// ScheduleSampler builds the standard periodic sampling schedule: node id
+// samples at phase(id) + n*period for n >= 0, so its newest reading at
+// time `at` was taken at the last such instant, and before its first
+// sample the node has no reading at all. phase must be pure and return
+// values in [0, period).
+func ScheduleSampler(period time.Duration, phase func(id int32) sim.Time) Sampler {
+	return func(id int32, at sim.Time) (sim.Time, bool) {
+		ph := phase(id)
+		if at < ph {
+			return 0, false
+		}
+		return ph + (at-ph)/period*period, true
+	}
+}
+
+// SetSampler installs the node sampling schedule used by windowed
+// evaluation. A nil sampler (the default) means readings are taken at the
+// evaluation instant itself — the instantaneous oracle the batch paths
+// use. Must be called before any evaluation starts; it is not synchronized
+// with concurrent evaluations.
+func (e *QueryEngine) SetSampler(s Sampler) { e.sampler = s }
+
+// RegisterTemporalE registers a live query carrying a temporal contract:
+// periods are counted from t0, with the first result due at t0+Period.
+// The query is then driven with NextDue/EvaluateDue instead of Evaluate.
+func (e *QueryEngine) RegisterTemporalE(queryID uint32, radius float64, pos geom.Point, spec TemporalSpec, t0 sim.Time) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	return e.register(queryID, radius, pos, &temporalState{spec: spec, t0: t0, nextK: 1})
+}
+
+// temporal returns the query and its temporal state, or nil if the query
+// is unknown or was registered without a temporal contract.
+func (e *QueryEngine) temporal(queryID uint32) *liveQuery {
+	st := e.stripe(queryID)
+	st.mu.RLock()
+	q := st.queries[queryID]
+	st.mu.RUnlock()
+	if q == nil || q.temporal == nil {
+		return nil
+	}
+	return q
+}
+
+// NextDue returns the index and due time of the next unevaluated period of
+// a temporal query. ok is false for unknown or non-temporal queries.
+func (e *QueryEngine) NextDue(queryID uint32) (k int, due sim.Time, ok bool) {
+	q := e.temporal(queryID)
+	if q == nil {
+		return 0, 0, false
+	}
+	q.tmu.Lock()
+	t := q.temporal
+	k, due = t.nextK, t.t0+sim.Time(t.nextK)*t.spec.Period
+	q.tmu.Unlock()
+	return k, due, true
+}
+
+// EvaluateDue evaluates the next period of a temporal query if its
+// boundary has been reached by now. It returns ok=false when the query is
+// unknown, has no temporal contract, or its next period is not yet due.
+// The result is computed as of the period boundary — waypoint read at call
+// time, readings as-of the boundary, freshness measured against it — while
+// lateness compares now against the boundary plus the deadline slack.
+// Calls for distinct queries proceed in parallel; calls for one query are
+// serialized and advance its period counter exactly once each.
+func (e *QueryEngine) EvaluateDue(queryID uint32, now sim.Time) (WindowResult, bool) {
+	q := e.temporal(queryID)
+	if q == nil {
+		return WindowResult{}, false
+	}
+	q.tmu.Lock()
+	defer q.tmu.Unlock()
+	t := q.temporal
+	due := t.t0 + sim.Time(t.nextK)*t.spec.Period
+	if due > now {
+		return WindowResult{}, false
+	}
+	res := e.evaluateWindow(q, t.spec, due)
+	res.K = t.nextK
+	res.Due = due
+	res.EvaluatedAt = now
+	if now > due+t.spec.Deadline {
+		res.Late = true
+		res.Lateness = now - due
+	}
+	t.nextK++
+	t.evaluated++
+	if res.Late {
+		t.late++
+	}
+	return res, true
+}
+
+// Stats returns the temporal accounting snapshot of one query. ok is
+// false for unknown or non-temporal queries.
+func (e *QueryEngine) Stats(queryID uint32) (TemporalStats, bool) {
+	q := e.temporal(queryID)
+	if q == nil {
+		return TemporalStats{}, false
+	}
+	q.tmu.Lock()
+	defer q.tmu.Unlock()
+	t := q.temporal
+	return TemporalStats{
+		NextK:       t.nextK,
+		Evaluated:   t.evaluated,
+		Late:        t.late,
+		LastReading: t.lastReading,
+		HasReading:  t.hasReading,
+	}, true
+}
+
+// evaluateWindow computes the freshness-windowed area result of q as of
+// the period boundary `due`. Caller holds q.tmu.
+func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Time) WindowResult {
+	center := *q.pos.Load()
+	out := WindowResult{
+		AreaResult: AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: NewPartial()},
+	}
+	type hit struct {
+		id     int32
+		pos    geom.Point
+		sample sim.Time
+	}
+	var hits []hit
+	e.grid.VisitWithin(center, q.radius, func(id int32, pos geom.Point) {
+		out.AreaNodes++
+		sample, ok := due, true
+		if e.sampler != nil {
+			sample, ok = e.sampler(id, due)
+		}
+		if !ok || (spec.Fresh > 0 && due-sample > spec.Fresh) || sample > due {
+			out.StaleNodes++
+			return
+		}
+		hits = append(hits, hit{id: id, pos: pos, sample: sample})
+	})
+	// Sort by id so Nodes and float accumulation order are deterministic
+	// regardless of shard layout, exactly as the instantaneous path does.
+	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	out.Nodes = make([]radio.NodeID, 0, len(hits))
+	t := q.temporal
+	for _, h := range hits {
+		out.Nodes = append(out.Nodes, radio.NodeID(h.id))
+		out.Data.AddReading(radio.NodeID(h.id), e.fld.Sample(h.pos, h.sample))
+		if age := due - h.sample; age > out.MaxStaleness {
+			out.MaxStaleness = age
+		}
+		if !t.hasReading || h.sample > t.lastReading {
+			t.lastReading = h.sample
+			t.hasReading = true
+		}
+	}
+	return out
+}

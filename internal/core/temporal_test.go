@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mobiquery/internal/field"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/sim"
+)
+
+func TestTemporalSpecValidate(t *testing.T) {
+	good := TemporalSpec{Period: time.Second, Deadline: 100 * time.Millisecond, Fresh: time.Second}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []TemporalSpec{
+		{Period: 0},
+		{Period: -time.Second},
+		{Period: time.Second, Deadline: -1},
+		{Period: time.Second, Fresh: -1},
+	}
+	for i, ts := range bad {
+		if ts.Validate() == nil {
+			t.Errorf("spec %d (%+v): expected validation error", i, ts)
+		}
+	}
+}
+
+func TestNewQueryEngineEAndRegisterE(t *testing.T) {
+	if _, err := NewQueryEngineE(geom.Square(100), 10, nil, EngineConfig{}); err == nil {
+		t.Error("nil field should be an error")
+	}
+	if _, err := NewQueryEngineE(geom.Square(100), 10, field.Uniform{Value: 1}, EngineConfig{Shards: -1}); err == nil {
+		t.Error("negative shards should be an error")
+	}
+	e := testEngine(EngineConfig{})
+	if err := e.RegisterE(0, 10, geom.Pt(0, 0)); err == nil {
+		t.Error("zero id should be an error")
+	}
+	if err := e.RegisterE(1, 0, geom.Pt(0, 0)); err == nil {
+		t.Error("zero radius should be an error")
+	}
+	if err := e.RegisterE(1, 10, geom.Pt(0, 0)); err != nil {
+		t.Fatalf("RegisterE: %v", err)
+	}
+	if err := e.RegisterE(1, 10, geom.Pt(0, 0)); err == nil {
+		t.Error("duplicate id should be an error")
+	}
+	// A deregistered id is free for re-registration.
+	e.Deregister(1)
+	if err := e.RegisterE(1, 20, geom.Pt(5, 5)); err != nil {
+		t.Fatalf("re-register after deregister: %v", err)
+	}
+}
+
+// temporalEngine builds a three-node engine with a fixed sampling history:
+// node 0 sampled at 1.5 s, node 1 at 200 ms, node 2 never.
+func temporalEngine(t *testing.T) *QueryEngine {
+	t.Helper()
+	e := NewQueryEngine(geom.Square(1000), 100, field.Gradient{Base: 10, Slope: geom.V(1, 0)}, EngineConfig{})
+	samples := map[int32]sim.Time{0: 1500 * time.Millisecond, 1: 200 * time.Millisecond}
+	e.SetSampler(func(id int32, at sim.Time) (sim.Time, bool) {
+		s, ok := samples[id]
+		if !ok || s > at {
+			return 0, false
+		}
+		return s, true
+	})
+	e.UpsertNode(0, geom.Pt(10, 0))
+	e.UpsertNode(1, geom.Pt(20, 0))
+	e.UpsertNode(2, geom.Pt(30, 0))
+	return e
+}
+
+func TestEvaluateDueFreshnessWindow(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: 2 * time.Second, Fresh: time.Second}
+	if err := e.RegisterTemporalE(7, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatalf("RegisterTemporalE: %v", err)
+	}
+
+	// Not yet due before the first period boundary.
+	if _, ok := e.EvaluateDue(7, 1999*time.Millisecond); ok {
+		t.Fatal("EvaluateDue before the boundary should not fire")
+	}
+	k, due, ok := e.NextDue(7)
+	if !ok || k != 1 || due != 2*time.Second {
+		t.Fatalf("NextDue = (%d, %v, %v), want (1, 2s, true)", k, due, ok)
+	}
+
+	// At the boundary: node 0 (age 500 ms) is fresh; node 1 (age 1.8 s)
+	// and node 2 (never sampled) are stale.
+	res, ok := e.EvaluateDue(7, 2*time.Second)
+	if !ok {
+		t.Fatal("EvaluateDue at the boundary should fire")
+	}
+	if res.K != 1 || res.Due != 2*time.Second || res.EvaluatedAt != 2*time.Second {
+		t.Errorf("period header = %d/%v/%v", res.K, res.Due, res.EvaluatedAt)
+	}
+	if res.Late || res.Lateness != 0 {
+		t.Errorf("on-time evaluation marked late (%v)", res.Lateness)
+	}
+	if res.AreaNodes != 3 || res.StaleNodes != 2 || len(res.Nodes) != 1 || res.Nodes[0] != 0 {
+		t.Errorf("area %d stale %d nodes %v, want 3/2/[0]", res.AreaNodes, res.StaleNodes, res.Nodes)
+	}
+	if res.MaxStaleness != 500*time.Millisecond {
+		t.Errorf("MaxStaleness = %v, want 500ms", res.MaxStaleness)
+	}
+	// Node 0 sits at x=10 under the gradient: reading 10 + 10*1 = 20.
+	if v := res.Data.Value(AggAvg); v != 20 {
+		t.Errorf("aggregate = %v, want 20", v)
+	}
+
+	st, ok := e.Stats(7)
+	if !ok {
+		t.Fatal("Stats of temporal query missing")
+	}
+	if st.NextK != 2 || st.Evaluated != 1 || st.Late != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !st.HasReading || st.LastReading != 1500*time.Millisecond {
+		t.Errorf("last reading = %v/%v, want 1.5s/true", st.LastReading, st.HasReading)
+	}
+}
+
+func TestEvaluateDueZeroFreshAcceptsAnyReading(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: 2 * time.Second} // Fresh 0: unbounded window
+	if err := e.RegisterTemporalE(9, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := e.EvaluateDue(9, 2*time.Second)
+	if !ok {
+		t.Fatal("EvaluateDue should fire")
+	}
+	// Both sampled nodes contribute however old; the never-sampled node
+	// still cannot.
+	if len(res.Nodes) != 2 || res.StaleNodes != 1 {
+		t.Fatalf("nodes %v stale %d, want [0 1] / 1", res.Nodes, res.StaleNodes)
+	}
+	if res.MaxStaleness != 1800*time.Millisecond {
+		t.Errorf("MaxStaleness = %v, want 1.8s", res.MaxStaleness)
+	}
+}
+
+func TestEvaluateDueDeadlineAccounting(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: 2 * time.Second, Deadline: 100 * time.Millisecond, Fresh: time.Second}
+	if err := e.RegisterTemporalE(3, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Jump straight to 6.05 s: periods 1 (due 2 s) and 2 (due 4 s) are
+	// past the slack and late; period 3 (due 6 s) is within it.
+	now := 6050 * time.Millisecond
+	var got []WindowResult
+	for {
+		res, ok := e.EvaluateDue(3, now)
+		if !ok {
+			break
+		}
+		got = append(got, res)
+	}
+	if len(got) != 3 {
+		t.Fatalf("evaluated %d periods, want 3", len(got))
+	}
+	wantLate := []struct {
+		late     bool
+		lateness time.Duration
+	}{
+		{true, 4050 * time.Millisecond},
+		{true, 2050 * time.Millisecond},
+		{false, 0},
+	}
+	for i, res := range got {
+		if res.K != i+1 || res.Due != time.Duration(i+1)*2*time.Second {
+			t.Errorf("period %d header = %d/%v", i, res.K, res.Due)
+		}
+		if res.Late != wantLate[i].late || res.Lateness != wantLate[i].lateness {
+			t.Errorf("period %d late = %v/%v, want %v/%v",
+				i, res.Late, res.Lateness, wantLate[i].late, wantLate[i].lateness)
+		}
+	}
+	st, _ := e.Stats(3)
+	if st.Evaluated != 3 || st.Late != 2 || st.NextK != 4 {
+		t.Errorf("stats = %+v, want 3 evaluated / 2 late / next 4", st)
+	}
+}
+
+func TestEvaluateDueNonTemporalAndUnknown(t *testing.T) {
+	e := temporalEngine(t)
+	e.Register(5, 100, geom.Pt(0, 0)) // plain instantaneous query
+	if _, ok := e.EvaluateDue(5, time.Hour); ok {
+		t.Error("EvaluateDue fired for a non-temporal query")
+	}
+	if _, _, ok := e.NextDue(5); ok {
+		t.Error("NextDue answered for a non-temporal query")
+	}
+	if _, ok := e.Stats(5); ok {
+		t.Error("Stats answered for a non-temporal query")
+	}
+	if _, ok := e.EvaluateDue(999, time.Hour); ok {
+		t.Error("EvaluateDue fired for an unknown query")
+	}
+	if err := e.RegisterTemporalE(6, 100, geom.Pt(0, 0), TemporalSpec{}, 0); err == nil {
+		t.Error("zero period should be rejected")
+	}
+}
+
+func TestEvaluateDueDefaultSamplerIsInstantaneous(t *testing.T) {
+	// Without a sampler the windowed path degenerates to the oracle:
+	// readings taken at the boundary itself, nothing stale.
+	e := NewQueryEngine(geom.Square(1000), 100, field.Uniform{Value: 42}, EngineConfig{})
+	e.UpsertNode(0, geom.Pt(10, 0))
+	e.UpsertNode(1, geom.Pt(20, 0))
+	if err := e.RegisterTemporalE(1, 100, geom.Pt(0, 0), TemporalSpec{Period: time.Second, Fresh: time.Millisecond}, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := e.EvaluateDue(1, time.Second)
+	if !ok {
+		t.Fatal("EvaluateDue should fire")
+	}
+	if len(res.Nodes) != 2 || res.StaleNodes != 0 || res.MaxStaleness != 0 {
+		t.Errorf("instantaneous window = %d nodes / %d stale / %v staleness",
+			len(res.Nodes), res.StaleNodes, res.MaxStaleness)
+	}
+	if v := res.Data.Value(AggAvg); v != 42 {
+		t.Errorf("aggregate = %v, want 42", v)
+	}
+	if math.IsNaN(res.Data.Value(AggMin)) {
+		t.Error("min of populated window is NaN")
+	}
+}

@@ -86,8 +86,19 @@ type ScaleResult struct {
 	Evaluations int     // Users × Rounds area evaluations performed
 	MeanArea    float64 // mean in-area sensor count per evaluation
 	MeanValue   float64 // mean Avg aggregate over non-empty areas
-	Checksum    float64 // order-independent digest of all results
+	Checksum    uint64  // order-independent integer digest of all results
 	Elapsed     time.Duration
+}
+
+// resultDigest folds one per-user aggregate into the run digest. Each
+// query's value is bit-exact regardless of sharding (per-area accumulation
+// is id-sorted), so the digest hashes its exact bits; the fold is a wrapping
+// uint64 sum, which is associative and commutative — the digest cannot
+// depend on the order workers finish in, unlike the float64 accumulation it
+// replaced (addition over float64 is non-associative, so the old digest
+// could legitimately differ between serial and sharded runs).
+func resultDigest(queryID uint32, v float64) uint64 {
+	return (math.Float64bits(v) | 1) * uint64(queryID%97+1)
 }
 
 // RunScale executes the scale scenario: it indexes the node field, registers
@@ -129,7 +140,8 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 	})
 
 	res := ScaleResult{Config: cfg}
-	var areaSum, valueSum, checksum float64
+	var areaSum, valueSum float64
+	var checksum uint64
 	valued := 0
 	for round := 0; round < cfg.Rounds; round++ {
 		if round > 0 {
@@ -153,7 +165,7 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 				v := ar.Data.Value(core.AggAvg)
 				valueSum += v
 				valued++
-				checksum += v * float64(ar.QueryID%97+1)
+				checksum += resultDigest(ar.QueryID, v)
 			}
 		}
 	}

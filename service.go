@@ -1,0 +1,295 @@
+package mobiquery
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"mobiquery/internal/core"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/radio"
+)
+
+// NetworkConfig describes the sensor field a Service runs over: how many
+// nodes, where, what they measure, and how often each refreshes its
+// reading. Construct with DefaultNetworkConfig and override as needed.
+type NetworkConfig struct {
+	// Seed makes node placement and sampling phases reproducible.
+	Seed int64
+	// Nodes sensors are deployed uniformly over a RegionSide × RegionSide
+	// square (m).
+	Nodes      int
+	RegionSide float64
+	// SamplePeriod is how often each sensor refreshes its reading — the
+	// duty-cycle analogue the freshness window is measured against. Nodes
+	// sample out of phase with one another (deterministically from Seed)
+	// unless WithAlignedSampling is given. Zero selects 1 s.
+	SamplePeriod time.Duration
+	// Field is what the sensors measure. Nil selects UniformField(20),
+	// the paper's default reading.
+	Field Field
+	// Service sizes the concurrent query engine.
+	Service ServiceConfig
+}
+
+// DefaultNetworkConfig returns the paper's Section 6.1 field: 200 nodes
+// over 450 m × 450 m, sampling once per second.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		Seed:         1,
+		Nodes:        200,
+		RegionSide:   450,
+		SamplePeriod: time.Second,
+	}
+}
+
+// Validate reports configuration errors without opening anything.
+func (nc NetworkConfig) Validate() error {
+	switch {
+	case nc.Nodes <= 0:
+		return fmt.Errorf("mobiquery: network Nodes must be positive, got %d", nc.Nodes)
+	case nc.RegionSide <= 0:
+		return fmt.Errorf("mobiquery: network RegionSide must be positive, got %v", nc.RegionSide)
+	case nc.SamplePeriod < 0:
+		return fmt.Errorf("mobiquery: network SamplePeriod must be non-negative, got %v", nc.SamplePeriod)
+	case nc.Service.Shards < 0 || nc.Service.Workers < 0:
+		return fmt.Errorf("mobiquery: service Shards and Workers must be non-negative")
+	}
+	return nil
+}
+
+func (nc NetworkConfig) withDefaults() NetworkConfig {
+	if nc.SamplePeriod == 0 {
+		nc.SamplePeriod = time.Second
+	}
+	if nc.Field == nil {
+		nc.Field = UniformField(20)
+	}
+	return nc
+}
+
+// serviceOptions collects the Open options.
+type serviceOptions struct {
+	buffer  int
+	aligned bool
+	tick    time.Duration
+}
+
+// Option customizes an opened Service.
+type Option func(*serviceOptions)
+
+// WithResultBuffer sets the per-subscription result channel capacity
+// (default 16). When a subscriber falls behind and its buffer fills, new
+// results are dropped and counted in SubscriptionStats.Dropped rather than
+// stalling the service.
+func WithResultBuffer(n int) Option {
+	return func(o *serviceOptions) { o.buffer = n }
+}
+
+// WithAlignedSampling makes every node sample in phase, at exact multiples
+// of NetworkConfig.SamplePeriod. Staleness then becomes an exact function
+// of the deadline alone, which the Example tests rely on; the default
+// (per-node random phases) is the realistic setting.
+func WithAlignedSampling() Option {
+	return func(o *serviceOptions) { o.aligned = true }
+}
+
+// WithRealTime drives the service clock from the wall clock: virtual time
+// advances by tick every tick of real time, so subscriptions stream
+// results without explicit Advance calls. Without this option the clock is
+// manual — the caller advances it with Service.Advance, which is exactly
+// reproducible and is what tests and the experiment harness use.
+func WithRealTime(tick time.Duration) Option {
+	return func(o *serviceOptions) { o.tick = tick }
+}
+
+// Service is a live MobiQuery session: a sharded concurrent query engine
+// standing over a sensor field, accepting streaming query subscriptions
+// from mobile users while it runs. Open it once; Subscribe and Close
+// subscriptions freely while other subscribers keep streaming — one
+// subscriber's churn never changes another's results.
+//
+// The service runs on virtual time. By default the clock is manual
+// (Advance); WithRealTime ties it to the wall clock. All methods are safe
+// for concurrent use.
+type Service struct {
+	cfg    NetworkConfig
+	opts   serviceOptions
+	region geom.Rect
+
+	mu     sync.Mutex
+	engine *core.QueryEngine
+	now    time.Duration
+	subs   map[uint32]*Subscription
+	nextID uint32
+	closed bool
+	stop   chan struct{}
+}
+
+// Open stands up a Service over the configured sensor field. Configuration
+// problems are reported as errors, never panics. The service is closed by
+// Close or by cancellation of ctx.
+func Open(ctx context.Context, nc NetworkConfig, opts ...Option) (*Service, error) {
+	if err := nc.Validate(); err != nil {
+		return nil, err
+	}
+	o := serviceOptions{buffer: 16}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.buffer <= 0 {
+		return nil, fmt.Errorf("mobiquery: result buffer must be positive, got %d", o.buffer)
+	}
+	if o.tick < 0 {
+		return nil, fmt.Errorf("mobiquery: real-time tick must be non-negative, got %v", o.tick)
+	}
+	nc = nc.withDefaults()
+
+	region := geom.Square(nc.RegionSide)
+	cell := nc.RegionSide / 32
+	engine, err := core.NewQueryEngineE(region, cell, nc.Field,
+		core.EngineConfig{Shards: nc.Service.Shards, Workers: nc.Service.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Service{
+		cfg:    nc,
+		opts:   o,
+		region: region,
+		engine: engine,
+		subs:   make(map[uint32]*Subscription),
+		stop:   make(chan struct{}),
+	}
+	engine.SetSampler(s.sampler())
+
+	// Node placement matches the scale harness: one serial RNG drained up
+	// front, so the field depends only on the seed.
+	rng := rand.New(rand.NewSource(nc.Seed))
+	pos := make([]geom.Point, nc.Nodes)
+	for i := range pos {
+		pos[i] = region.UniformPoint(rng)
+	}
+	engine.Dispatch(nc.Nodes, func(i int) {
+		engine.UpsertNode(radio.NodeID(i), pos[i])
+	})
+
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.stop:
+			}
+		}()
+	}
+	if o.tick > 0 {
+		go s.runClock(o.tick)
+	}
+	return s, nil
+}
+
+// sampler returns the node sampling schedule: node i samples every
+// SamplePeriod, with phase 0 under aligned sampling and a deterministic
+// per-node offset in [0, SamplePeriod) otherwise.
+func (s *Service) sampler() core.Sampler {
+	period := s.cfg.SamplePeriod
+	if s.opts.aligned {
+		return core.ScheduleSampler(period, func(int32) time.Duration { return 0 })
+	}
+	seed := uint64(s.cfg.Seed)
+	return core.ScheduleSampler(period, func(id int32) time.Duration {
+		return time.Duration(splitmix64(seed^(uint64(uint32(id))+0x9E3779B97F4A7C15)) % uint64(period))
+	})
+}
+
+// splitmix64 is the SplitMix64 finalizer: a tiny, well-mixed integer hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// runClock is the real-time driver: one Advance(tick) per tick of wall
+// time until the service closes.
+func (s *Service) runClock(tick time.Duration) {
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			if s.Advance(tick) != nil {
+				return
+			}
+		}
+	}
+}
+
+// Now returns the service's current virtual time.
+func (s *Service) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// NodeCount returns the number of sensor nodes in the field.
+func (s *Service) NodeCount() int { return s.engine.NodeCount() }
+
+// Subscribers returns the number of live subscriptions.
+func (s *Service) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Advance moves the service's virtual clock forward by d and delivers
+// every query period that came due, in deadline order within each
+// subscription. A period evaluated after its deadline slack — because the
+// clock jumped past it in one coarse step, or because a real-time service
+// stalled — is delivered marked late. Advance is exactly reproducible:
+// the same configuration and call sequence yields the same results.
+func (s *Service) Advance(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("mobiquery: cannot advance time backwards (%v)", d)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("mobiquery: service is closed")
+	}
+	s.now += d
+
+	// Deterministic order: ascending subscription id.
+	ids := make([]uint32, 0, len(s.subs))
+	for id := range s.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s.subs[id].pump(s.now)
+	}
+	return nil
+}
+
+// Close shuts the service down: every subscription is closed (its Results
+// channel drains then ends) and further Subscribe and Advance calls fail.
+// Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	for _, sub := range s.subs {
+		sub.closeLocked()
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package mobiquery
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mobiquery/internal/core"
+	"mobiquery/internal/geom"
+)
+
+// QuerySpec is the streaming form of the paper's spatiotemporal query
+// tuple: one aggregate over a circle around the mobile user, due every
+// Period, computed from sufficiently fresh readings.
+type QuerySpec struct {
+	// Radius is Rq: the query area is a circle of this radius (m) centered
+	// on the user's current position.
+	Radius float64
+	// Period is Tperiod: one result is due every Period, the kth at
+	// subscription time + k*Period.
+	Period time.Duration
+	// Deadline is the slack after each period boundary before the result
+	// counts as late. Zero is strict: a result evaluated any time after
+	// its boundary is marked late.
+	Deadline time.Duration
+	// Freshness is Tfresh: readings older than this at the period boundary
+	// are excluded from the result (they show up in
+	// QueryResult.StaleNodes). Zero disables the window.
+	Freshness time.Duration
+	// Aggregate selects the aggregation function; zero selects Avg.
+	Aggregate AggKind
+	// Lifetime bounds the session: the subscription closes itself after
+	// Lifetime/Period results. Zero streams until Close or context
+	// cancellation.
+	Lifetime time.Duration
+}
+
+// Validate reports specification errors, including the paper's feasibility
+// assumption Tfresh <= Tperiod.
+func (q QuerySpec) Validate() error {
+	switch {
+	case q.Radius <= 0:
+		return fmt.Errorf("mobiquery: query radius %v must be positive", q.Radius)
+	case q.Period <= 0:
+		return fmt.Errorf("mobiquery: query period %v must be positive", q.Period)
+	case q.Deadline < 0:
+		return fmt.Errorf("mobiquery: deadline slack %v must be non-negative", q.Deadline)
+	case q.Freshness < 0:
+		return fmt.Errorf("mobiquery: freshness %v must be non-negative", q.Freshness)
+	case q.Freshness > q.Period:
+		return fmt.Errorf("mobiquery: freshness %v must not exceed period %v", q.Freshness, q.Period)
+	case q.Aggregate != 0 && !q.Aggregate.Valid():
+		return fmt.Errorf("mobiquery: invalid aggregation %v", q.Aggregate)
+	case q.Lifetime < 0:
+		return fmt.Errorf("mobiquery: lifetime %v must be non-negative", q.Lifetime)
+	case q.Lifetime != 0 && q.Lifetime < q.Period:
+		return fmt.Errorf("mobiquery: lifetime %v shorter than one period %v", q.Lifetime, q.Period)
+	}
+	return nil
+}
+
+// MotionSource supplies a subscriber's position over the service's virtual
+// time. t is measured from the subscription instant. Implementations must
+// be pure: the service may query any instant, in any order.
+type MotionSource interface {
+	PositionAt(t time.Duration) Point
+}
+
+// staticSource pins the user to one position.
+type staticSource struct{ p Point }
+
+func (s staticSource) PositionAt(time.Duration) Point { return s.p }
+
+// StaticPosition returns a MotionSource for a user standing at p. Combine
+// with Subscription.UpdateWaypoint to move the user by explicit updates.
+func StaticPosition(p Point) MotionSource { return staticSource{p: p} }
+
+// linearSource moves the user on a straight line.
+type linearSource struct {
+	start Point
+	v     geom.Vec
+}
+
+func (l linearSource) PositionAt(t time.Duration) Point {
+	return l.start.Add(l.v.Scale(t.Seconds()))
+}
+
+// LinearMotion returns a MotionSource for a user walking a straight line
+// from start at (vx, vy) m/s.
+func LinearMotion(start Point, vx, vy float64) MotionSource {
+	return linearSource{start: start, v: geom.V(vx, vy)}
+}
+
+// SubscriptionStats summarizes a subscription's temporal ledger.
+type SubscriptionStats struct {
+	// Delivered counts results handed to the Results channel; Dropped
+	// those discarded because the subscriber's buffer was full; Late those
+	// delivered past their deadline slack.
+	Delivered int
+	Dropped   int
+	Late      int
+	// NextPeriod is the 1-based index of the next period due.
+	NextPeriod int
+}
+
+// Subscription is one mobile user's live query session. Results arrive on
+// the Results channel, one per query period; the channel is closed when
+// the subscription ends (Close, context cancellation, service Close, or
+// the spec's Lifetime running out).
+type Subscription struct {
+	svc    *Service
+	id     uint32
+	spec   QuerySpec
+	src    MotionSource
+	t0     time.Duration
+	agg    AggKind
+	manual *Point // set by UpdateWaypoint; overrides src from then on
+
+	results chan QueryResult
+	done    chan struct{} // closed with the subscription; wakes watchers
+	closed  bool
+	stats   SubscriptionStats
+}
+
+// Subscribe registers a streaming query for a mobile user whose position
+// follows src, starting periods at the service's current virtual time. The
+// user joins a live service: existing subscribers are unaffected. The
+// subscription ends when ctx is canceled, Close is called, the service
+// closes, or the spec's Lifetime elapses.
+func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSource) (*Subscription, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("mobiquery: subscription needs a MotionSource")
+	}
+	agg := spec.Aggregate
+	if agg == 0 {
+		agg = Avg
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("mobiquery: service is closed")
+	}
+	s.nextID++
+	sub := &Subscription{
+		svc:     s,
+		id:      s.nextID,
+		spec:    spec,
+		src:     src,
+		t0:      s.now,
+		agg:     agg,
+		results: make(chan QueryResult, s.opts.buffer),
+		done:    make(chan struct{}),
+	}
+	sub.stats.NextPeriod = 1
+	err := s.engine.RegisterTemporalE(sub.id, spec.Radius, src.PositionAt(0),
+		core.TemporalSpec{Period: spec.Period, Deadline: spec.Deadline, Fresh: spec.Freshness}, s.now)
+	if err != nil {
+		return nil, err
+	}
+	s.subs[sub.id] = sub
+
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				sub.Close()
+			case <-sub.done:
+				// Closed some other way (Close, Lifetime, service
+				// shutdown); don't outlive the subscription.
+			}
+		}()
+	}
+	return sub, nil
+}
+
+// ID returns the subscription's query id within the service.
+func (sub *Subscription) ID() uint32 { return sub.id }
+
+// Results is the stream of per-period query results. It is closed when
+// the subscription ends; a subscriber that stops draining loses newest
+// results (counted in Stats().Dropped) but never stalls the service.
+func (sub *Subscription) Results() <-chan QueryResult { return sub.results }
+
+// Spec returns the subscription's query specification.
+func (sub *Subscription) Spec() QuerySpec { return sub.spec }
+
+// UpdateWaypoint reports the user's actual position mid-run, overriding
+// the MotionSource from this moment on (the source is a prediction; the
+// waypoint is ground truth). Subsequent periods are evaluated at the
+// updated position until the next update.
+func (sub *Subscription) UpdateWaypoint(p Point) error {
+	s := sub.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sub.closed {
+		return fmt.Errorf("mobiquery: subscription %d is closed", sub.id)
+	}
+	sub.manual = &p
+	s.engine.UpdateWaypoint(sub.id, p)
+	return nil
+}
+
+// Stats returns the subscription's delivery ledger so far.
+func (sub *Subscription) Stats() SubscriptionStats {
+	s := sub.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return sub.stats
+}
+
+// Close ends the subscription: the user leaves the service, the engine
+// frees the query, and the Results channel is closed after any buffered
+// results. Other subscribers are unaffected. Close is idempotent.
+func (sub *Subscription) Close() error {
+	s := sub.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub.closeLocked()
+	return nil
+}
+
+// closeLocked tears the subscription down. Caller holds svc.mu.
+func (sub *Subscription) closeLocked() {
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	sub.svc.engine.Deregister(sub.id)
+	delete(sub.svc.subs, sub.id)
+	close(sub.results)
+	close(sub.done)
+}
+
+// position returns where the user is at virtual time t (absolute service
+// time): the last explicit waypoint if one was reported, else the motion
+// source's prediction.
+func (sub *Subscription) position(t time.Duration) Point {
+	if sub.manual != nil {
+		return *sub.manual
+	}
+	return sub.src.PositionAt(t - sub.t0)
+}
+
+// pump evaluates and delivers every period of this subscription that is
+// due by virtual time now. Caller holds svc.mu.
+func (sub *Subscription) pump(now time.Duration) {
+	if sub.closed {
+		return
+	}
+	eng := sub.svc.engine
+	for {
+		_, due, ok := eng.NextDue(sub.id)
+		if !ok {
+			return
+		}
+		// The lifetime check precedes the due check: it depends only on
+		// the period index, so a session whose clock stops exactly at
+		// t0+Lifetime still closes its stream after the final result.
+		if sub.spec.Lifetime > 0 && due > sub.t0+sub.spec.Lifetime {
+			sub.closeLocked()
+			return
+		}
+		if due > now {
+			return
+		}
+		// The waypoint is evaluated as of the period boundary, so coarse
+		// clock steps still see the position the user held at the
+		// deadline.
+		eng.UpdateWaypoint(sub.id, sub.position(due))
+		wr, ok := eng.EvaluateDue(sub.id, now)
+		if !ok {
+			return
+		}
+		qr := QueryResult{
+			K:            wr.K,
+			Deadline:     wr.Due,
+			Received:     true,
+			OnTime:       !wr.Late,
+			Value:        wr.Data.Value(sub.agg),
+			Contributors: wr.Data.Count,
+			AreaNodes:    wr.AreaNodes,
+			EvaluatedAt:  wr.EvaluatedAt,
+			Lateness:     wr.Lateness,
+			StaleNodes:   wr.StaleNodes,
+			MaxStaleness: wr.MaxStaleness,
+		}
+		if wr.AreaNodes > 0 {
+			qr.Fidelity = float64(wr.Data.Count) / float64(wr.AreaNodes)
+		} else {
+			qr.Fidelity = 1 // empty area: vacuously perfect
+		}
+		qr.Success = qr.OnTime && qr.Fidelity >= SuccessThreshold
+		sub.stats.NextPeriod = wr.K + 1
+		if wr.Late {
+			sub.stats.Late++
+		}
+		select {
+		case sub.results <- qr:
+			sub.stats.Delivered++
+		default:
+			sub.stats.Dropped++
+		}
+	}
+}
