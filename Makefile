@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet check
+.PHONY: all build test race bench bench-json bench-compare fmt vet check
 
 all: build
 
@@ -25,6 +25,12 @@ bench:
 # result as the BENCH_pr.json artifact to record the perf trajectory.
 bench-json:
 	$(GO) test -json -run=xxx -bench=. -benchtime=1x ./... > BENCH_pr.json
+
+# Compare the fresh BENCH_pr.json against the committed baseline, so
+# regressions on the hot paths (Advance, EvaluateDue, dispatch) are
+# visible per PR. Uses benchstat when installed, else the built-in table.
+bench-compare: bench-json
+	$(GO) run ./cmd/mobiquery-benchcmp -baseline BENCH_baseline.json -current BENCH_pr.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -36,6 +36,7 @@ func benchOpts() experiment.Options {
 // MQ-GP and NP across sleep periods and user speeds. Reported metrics give
 // the walking-user row at 15 s sleep.
 func BenchmarkFig4SuccessRatio(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tables := experiment.Fig4(benchOpts())
 		if len(tables) != 3 {
@@ -51,6 +52,7 @@ func BenchmarkFig4SuccessRatio(b *testing.B) {
 // BenchmarkFig5DynamicBehavior regenerates Figure 5: per-period fidelity of
 // MQ-JIT vs MQ-GP at 15 s sleep. Reports mean fidelity of both series.
 func BenchmarkFig5DynamicBehavior(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := experiment.Fig5(benchOpts())
 		var gp, jit float64
@@ -68,6 +70,7 @@ func BenchmarkFig5DynamicBehavior(b *testing.B) {
 // profile advance time. Reports the Ta=-6s and Ta=18s endpoints at 9 s
 // sleep.
 func BenchmarkFig6AdvanceTime(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := experiment.Fig6(benchOpts())
 		b.ReportMetric(tbl.Rows[0].Cells[1].Value, "Ta=-6s-success")
@@ -79,6 +82,7 @@ func BenchmarkFig6AdvanceTime(b *testing.B) {
 // change interval, including GPS location error settings. Reports the
 // toughest cell (42 s interval, 10 m error) and the easiest (210 s, Ta=6s).
 func BenchmarkFig7MotionChanges(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbls := experiment.Fig7(benchOpts())
 		strict, target := tbls[0], tbls[1]
@@ -91,6 +95,7 @@ func BenchmarkFig7MotionChanges(b *testing.B) {
 // BenchmarkFig8PowerConsumption regenerates Figure 8: average power per
 // sleeping node for bare CCP and MobiQuery. Reports the 15 s sleep row.
 func BenchmarkFig8PowerConsumption(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := experiment.Fig8(benchOpts())
 		last := tbl.Rows[len(tbl.Rows)-1]
@@ -103,6 +108,7 @@ func BenchmarkFig8PowerConsumption(b *testing.B) {
 // PLjit=4 vs PLgp=58 (14.5x) for the paper's walking-user parameters, both
 // analytically and from simulation (at evaluation settings).
 func BenchmarkTableStorageCost(b *testing.B) {
+	b.ReportAllocs()
 	q := analysis.QueryParams{Period: 10 * time.Second, Fresh: 5 * time.Second, Sleep: 15 * time.Second}
 	vprfh := analysis.PrefetchSpeed(100, 5, 60, 5000)
 	for i := 0; i < b.N; i++ {
@@ -123,6 +129,7 @@ func BenchmarkTableStorageCost(b *testing.B) {
 // about 4 interfering trees under JIT vs 35 under greedy for a walking
 // user, and v* ~ 131 mph.
 func BenchmarkTableContention(b *testing.B) {
+	b.ReportAllocs()
 	c := analysis.ContentionParams{
 		QueryParams: analysis.QueryParams{Period: 5 * time.Second, Fresh: 3 * time.Second, Sleep: 9 * time.Second},
 		QueryRadius: 150,
@@ -138,6 +145,7 @@ func BenchmarkTableContention(b *testing.B) {
 // BenchmarkTablePrefetchSpeed regenerates the Section 5.2 vprfh estimate
 // (~469 mph for MICA2-class hardware).
 func BenchmarkTablePrefetchSpeed(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		v := analysis.PrefetchSpeed(100, 5, 60, 5000)
 		b.ReportMetric(analysis.MetersPerSecondToMPH(v), "vprfh-mph")
@@ -147,6 +155,7 @@ func BenchmarkTablePrefetchSpeed(b *testing.B) {
 // BenchmarkTableWarmup validates the equation (16) warmup bound against
 // simulation (the Section 5.3 result Tw ~ Tsleep + 2*Tfresh - Ta).
 func BenchmarkTableWarmup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := experiment.WarmupValidation(experiment.Options{Runs: 1, BaseSeed: 1, Scale: 0.4})
 		for _, row := range tbl.Rows {
@@ -161,6 +170,7 @@ func BenchmarkTableWarmup(b *testing.B) {
 // BenchmarkSingleRunJIT measures the cost of one paper-default simulation
 // (200 nodes, 400 s): the engine's raw throughput.
 func BenchmarkSingleRunJIT(b *testing.B) {
+	b.ReportAllocs()
 	sc := experiment.Default().WithDuration(120 * time.Second)
 	sc.SleepPeriod = 9 * time.Second
 	for i := 0; i < b.N; i++ {
@@ -174,6 +184,7 @@ func BenchmarkSingleRunJIT(b *testing.B) {
 // BenchmarkAblationNoPrefetchHold quantifies the JIT hold's contribution:
 // JIT versus greedy at identical settings (the DESIGN.md ablation).
 func BenchmarkAblationNoPrefetchHold(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		jit := experiment.Default().WithDuration(120 * time.Second)
 		jit.SleepPeriod = 15 * time.Second
@@ -192,6 +203,7 @@ func BenchmarkAblationNoPrefetchHold(b *testing.B) {
 // scale: the full system against variants with the flood jitter or the
 // forward lead removed, plus the GP/NP references.
 func BenchmarkAblationMechanisms(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl := experiment.Ablation(experiment.Options{Runs: 1, BaseSeed: 1, Scale: 0.3})
 		for _, row := range tbl.Rows {
@@ -225,6 +237,7 @@ func benchEngine(users int, cfg core.EngineConfig) *core.QueryEngine {
 // BenchmarkMultiUserDispatchSerial measures the pre-sharding baseline: one
 // serial loop evaluating every user's query area in turn.
 func BenchmarkMultiUserDispatchSerial(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEngine(2000, core.EngineConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -240,6 +253,7 @@ func BenchmarkMultiUserDispatchSerial(b *testing.B) {
 // BenchmarkMultiUserDispatchSerial by roughly the core count; results are
 // bit-identical between the two paths.
 func BenchmarkMultiUserDispatchSharded(b *testing.B) {
+	b.ReportAllocs()
 	e := benchEngine(2000, core.EngineConfig{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -254,6 +268,7 @@ func BenchmarkMultiUserDispatchSharded(b *testing.B) {
 // churn plus evaluation sweeps) at a reduced population and reports
 // evaluations per second.
 func BenchmarkScaleScenario(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiment.DefaultScale()
 	cfg.Nodes = 20_000
 	cfg.Users = 2000
@@ -271,6 +286,7 @@ func BenchmarkScaleScenario(b *testing.B) {
 // of 1 s periods with freshness windows. Reports periods per second of
 // wall time.
 func BenchmarkSessionStream(b *testing.B) {
+	b.ReportAllocs()
 	nc := NetworkConfig{Seed: 1, Nodes: 20_000, RegionSide: 5000, SamplePeriod: time.Second}
 	spec := QuerySpec{Radius: 150, Period: time.Second, Freshness: time.Second}
 	for i := 0; i < b.N; i++ {
@@ -312,6 +328,7 @@ func BenchmarkSessionStream(b *testing.B) {
 // temporal evaluation with users joining and leaving) at a reduced
 // population and reports evaluations per second.
 func BenchmarkChurnScenario(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiment.DefaultChurn()
 	cfg.Nodes = 2000
 	cfg.RegionSide = 1000
@@ -328,10 +345,82 @@ func BenchmarkChurnScenario(b *testing.B) {
 	}
 }
 
+// benchAdvanceService opens a service and loads it with subscribers, all
+// sharing one period. The field density matches the paper-scale workload
+// (~90 nodes per query area), so the dense benchmark measures realistic
+// per-period evaluation while the idle benchmark isolates scheduling.
+func benchAdvanceService(b *testing.B, subscribers int, period time.Duration, cfg ServiceConfig) *Service {
+	b.Helper()
+	nc := NetworkConfig{
+		Seed: 1, Nodes: 5000, RegionSide: 2000,
+		SamplePeriod: time.Second, Service: cfg,
+	}
+	svc, err := Open(context.Background(), nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	rng := rand.New(rand.NewSource(2))
+	region := geom.Square(nc.RegionSide)
+	spec := QuerySpec{Radius: 150, Period: period}
+	for i := 0; i < subscribers; i++ {
+		p := region.UniformPoint(rng)
+		if _, err := svc.Subscribe(context.Background(), spec, StaticPosition(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// BenchmarkAdvanceIdle measures an Advance tick on which no period is due:
+// 5k subscribers with hour-long periods, stepped 1 µs at a time. With the
+// due-period scheduler this must be O(1) — independent of the subscriber
+// count — where the pre-scheduler Advance scanned and sorted all 5k ids
+// every tick.
+func BenchmarkAdvanceIdle(b *testing.B) {
+	b.ReportAllocs()
+	svc := benchAdvanceService(b, 5000, time.Hour, ServiceConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Advance(time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdvanceDense is the opposite extreme: every subscriber's period
+// comes due on every tick, so the whole population is evaluated per
+// Advance, fanned across the worker pool.
+func BenchmarkAdvanceDense(b *testing.B) {
+	b.ReportAllocs()
+	svc := benchAdvanceService(b, 1000, time.Second, ServiceConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Advance(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdvanceDenseSerial is BenchmarkAdvanceDense pinned to one
+// worker: the serial-pump baseline the parallel dispatch is measured
+// against.
+func BenchmarkAdvanceDenseSerial(b *testing.B) {
+	b.ReportAllocs()
+	svc := benchAdvanceService(b, 1000, time.Second, ServiceConfig{Workers: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := svc.Advance(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkExtensionTwoUsers measures two concurrent mobile users sharing
 // the network — the multi-user load the Section 5 contention analysis
 // anticipates. Reports each user's success ratio.
 func BenchmarkExtensionTwoUsers(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := experiment.Default().WithDuration(120 * time.Second)
 		sc.SleepPeriod = 9 * time.Second

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -88,6 +89,10 @@ type QueryEngine struct {
 	sampler Sampler
 	stripes [queryStripes]engineStripe
 	nq      atomic.Int64
+	// sched tracks every temporal query's next period boundary, keyed
+	// (due, id), so PopDue hands a clock driver exactly the queries with a
+	// period due — an idle tick costs O(1) instead of O(queries).
+	sched *Schedule
 }
 
 // NewQueryEngine creates an engine over region. cellSize tunes the spatial
@@ -112,9 +117,10 @@ func NewQueryEngineE(region geom.Rect, cellSize float64, fld field.Field, cfg En
 	}
 	cfg = cfg.normalized()
 	e := &QueryEngine{
-		cfg:  cfg,
-		grid: geom.NewShardedGrid(region, cellSize, cfg.Shards),
-		fld:  fld,
+		cfg:   cfg,
+		grid:  geom.NewShardedGrid(region, cellSize, cfg.Shards),
+		fld:   fld,
+		sched: NewSchedule(),
 	}
 	for i := range e.stripes {
 		e.stripes[i].queries = make(map[uint32]*liveQuery)
@@ -179,6 +185,11 @@ func (e *QueryEngine) register(queryID uint32, radius float64, pos geom.Point, t
 		return fmt.Errorf("core: duplicate query id %d", queryID)
 	}
 	st.queries[queryID] = q
+	if t != nil {
+		// Scheduled under the stripe lock so a concurrent Deregister of
+		// the same id cannot observe the query without its schedule entry.
+		e.sched.Upsert(queryID, t.t0+sim.Time(t.nextK)*t.spec.Period)
+	}
 	st.mu.Unlock()
 	e.nq.Add(1)
 	return nil
@@ -190,10 +201,24 @@ func (e *QueryEngine) Deregister(queryID uint32) {
 	st.mu.Lock()
 	_, ok := st.queries[queryID]
 	delete(st.queries, queryID)
+	if ok {
+		e.sched.Remove(queryID)
+	}
 	st.mu.Unlock()
 	if ok {
 		e.nq.Add(-1)
 	}
+}
+
+// PopDue removes and returns every temporal query whose next period
+// boundary is at or before now, appended to buf in ascending (due, id)
+// order. A popped query is the caller's to drive: each EvaluateDue
+// re-arms it at its following boundary, so a clock driver loops
+// EvaluateDue until the next boundary passes now and the schedule stays
+// consistent. When no period is due the call is an O(1) peek — this is
+// what makes an idle Advance independent of the subscriber count.
+func (e *QueryEngine) PopDue(now sim.Time, buf []DueEntry) []DueEntry {
+	return e.sched.PopDue(now, buf)
 }
 
 // UpdateWaypoint moves a user's query center (the user walked). It reports
@@ -227,28 +252,44 @@ type AreaResult struct {
 	Data Partial
 }
 
+// areaHit is one in-area sensor collected during evaluation, with the
+// timestamp of the reading consumed (the evaluation instant on the
+// instantaneous path; the node's newest sample on the windowed path).
+type areaHit struct {
+	id     int32
+	pos    geom.Point
+	sample sim.Time
+}
+
+// hitsByID orders collected hits by node id so Nodes, Contribs, and float
+// accumulation order are deterministic regardless of shard layout and
+// insertion interleaving.
+func hitsByID(a, b areaHit) int { return cmp.Compare(a.id, b.id) }
+
+// hitPool recycles the per-evaluation hit scratch: EvaluateAll over
+// thousands of users would otherwise grow-and-discard one slice per user
+// per sweep.
+var hitPool = sync.Pool{New: func() any { return new([]areaHit) }}
+
 // evaluate computes one query's area result at virtual time at. Pure with
 // respect to engine state: it only reads immutable bucket snapshots and the
 // query's atomic waypoint, so any number of evaluations run in parallel.
 func (e *QueryEngine) evaluate(q *liveQuery, at sim.Time) AreaResult {
 	center := *q.pos.Load()
 	res := AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: NewPartial()}
-	type hit struct {
-		id  int32
-		pos geom.Point
-	}
-	var hits []hit
+	scratch := hitPool.Get().(*[]areaHit)
+	hits := (*scratch)[:0]
 	e.grid.VisitWithin(center, q.radius, func(id int32, pos geom.Point) {
-		hits = append(hits, hit{id: id, pos: pos})
+		hits = append(hits, areaHit{id: id, pos: pos})
 	})
-	// Sort by id so Nodes, Contribs, and float accumulation order are
-	// deterministic regardless of shard layout and insertion interleaving.
-	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	slices.SortFunc(hits, hitsByID)
 	res.Nodes = make([]radio.NodeID, 0, len(hits))
 	for _, h := range hits {
 		res.Nodes = append(res.Nodes, radio.NodeID(h.id))
 		res.Data.AddReading(radio.NodeID(h.id), e.fld.Sample(h.pos, at))
 	}
+	*scratch = hits
+	hitPool.Put(scratch)
 	return res
 }
 
@@ -275,7 +316,7 @@ func (e *QueryEngine) snapshot() []*liveQuery {
 		}
 		st.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	slices.SortFunc(out, func(a, b *liveQuery) int { return cmp.Compare(a.id, b.id) })
 	return out
 }
 

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"mobiquery/internal/geom"
@@ -61,6 +61,10 @@ type temporalState struct {
 	hasReading  bool
 	evaluated   int
 	late        int
+	// scratch is the window evaluation's hit buffer, reused across this
+	// query's periods. Guarded by the owning liveQuery's tmu like the rest
+	// of the state, so no pooling or clearing discipline is needed.
+	scratch []areaHit
 }
 
 // TemporalStats is a snapshot of one query's temporal accounting.
@@ -192,6 +196,19 @@ func (e *QueryEngine) EvaluateDue(queryID uint32, now sim.Time) (WindowResult, b
 	if res.Late {
 		t.late++
 	}
+	// Re-arm the due-period schedule at the next boundary so PopDue keeps
+	// handing this query out exactly when a period is due — but only if q
+	// is still the registered query: a Deregister (or Deregister plus
+	// re-register of the same id) that raced this evaluation owns the
+	// schedule entry now, and re-arming at our stale boundary would
+	// resurrect a removed entry or clobber the new registration's. The
+	// stripe read lock excludes both (they write under the stripe lock).
+	st := e.stripe(q.id)
+	st.mu.RLock()
+	if st.queries[q.id] == q {
+		e.sched.Upsert(q.id, t.t0+sim.Time(t.nextK)*t.spec.Period)
+	}
+	st.mu.RUnlock()
 	return res, true
 }
 
@@ -221,12 +238,7 @@ func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Ti
 	out := WindowResult{
 		AreaResult: AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: NewPartial()},
 	}
-	type hit struct {
-		id     int32
-		pos    geom.Point
-		sample sim.Time
-	}
-	var hits []hit
+	hits := q.temporal.scratch[:0]
 	e.grid.VisitWithin(center, q.radius, func(id int32, pos geom.Point) {
 		out.AreaNodes++
 		sample, ok := due, true
@@ -237,11 +249,11 @@ func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Ti
 			out.StaleNodes++
 			return
 		}
-		hits = append(hits, hit{id: id, pos: pos, sample: sample})
+		hits = append(hits, areaHit{id: id, pos: pos, sample: sample})
 	})
 	// Sort by id so Nodes and float accumulation order are deterministic
 	// regardless of shard layout, exactly as the instantaneous path does.
-	sort.Slice(hits, func(i, j int) bool { return hits[i].id < hits[j].id })
+	slices.SortFunc(hits, hitsByID)
 	out.Nodes = make([]radio.NodeID, 0, len(hits))
 	t := q.temporal
 	for _, h := range hits {
@@ -255,5 +267,6 @@ func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Ti
 			t.hasReading = true
 		}
 	}
+	t.scratch = hits
 	return out
 }

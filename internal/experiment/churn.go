@@ -225,41 +225,57 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		}
 	}
 
-	live := make([]*churnUser, 0, len(users))
+	byID := make(map[uint32]*churnUser, len(users))
+	for _, u := range users {
+		byID[u.id] = u
+	}
+	liveCount := cfg.Static
+	if liveCount > res.PeakLive {
+		res.PeakLive = liveCount
+	}
+	var due []core.DueEntry
+	dueUsers := make([]*churnUser, 0, len(users))
 	for t := cfg.Tick; t <= cfg.Duration; t += cfg.Tick {
 		// Membership changes first: arrivals register with periods counted
 		// from their join tick, departures free their ids immediately.
 		for _, u := range users {
-			if u.static || u.joined || u.joinAt >= t {
+			if u.static || u.gone {
 				continue
 			}
-			if err := join(u, t); err != nil {
-				return ChurnResult{}, err
+			if !u.joined && u.joinAt < t {
+				if err := join(u, t); err != nil {
+					return ChurnResult{}, err
+				}
+				res.Joins++
+				liveCount++
 			}
-			res.Joins++
-		}
-		live = live[:0]
-		for _, u := range users {
-			if !u.joined || u.gone {
-				continue
-			}
-			if !u.static && u.leaveAt <= t {
+			if u.joined && u.leaveAt <= t {
 				u.gone = true
 				eng.Deregister(u.id)
 				res.Leaves++
-				continue
+				liveCount--
 			}
-			live = append(live, u)
 		}
-		if len(live) > res.PeakLive {
-			res.PeakLive = len(live)
+		if liveCount > res.PeakLive {
+			res.PeakLive = liveCount
 		}
-		// Every live user's due periods, fanned across the pool. Each
-		// worker touches only its own user's accumulator, and per-user
+		// Only users with a period actually due this tick are touched: the
+		// engine's due-period schedule pops them in (due, id) order, so a
+		// tick on which nothing is due (most of them, at Tick << Period)
+		// costs O(1) instead of a scan over the live population. Each
+		// popped user's due periods are then drained on a worker; per-user
 		// evaluation is a pure function of the node field and that user's
 		// course, so the fan-out cannot change results.
-		eng.Dispatch(len(live), func(i int) {
-			u := live[i]
+		due = eng.PopDue(t, due[:0])
+		if len(due) == 0 {
+			continue
+		}
+		dueUsers = dueUsers[:0]
+		for _, de := range due {
+			dueUsers = append(dueUsers, byID[de.ID])
+		}
+		eng.Dispatch(len(dueUsers), func(i int) {
+			u := dueUsers[i]
 			for {
 				_, due, ok := eng.NextDue(u.id)
 				if !ok || due > t {

@@ -1,10 +1,11 @@
 package mobiquery
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -119,14 +120,26 @@ type Service struct {
 	cfg    NetworkConfig
 	opts   serviceOptions
 	region geom.Rect
-
-	mu     sync.Mutex
 	engine *core.QueryEngine
+
+	// mu guards the membership state only: the subscription registry and
+	// the clock. Evaluation runs outside it, so Subscribe, Close, and
+	// read-only introspection never wait on an in-flight Advance batch.
+	mu     sync.RWMutex
 	now    time.Duration
 	subs   map[uint32]*Subscription
 	nextID uint32
 	closed bool
 	stop   chan struct{}
+
+	// advMu serializes Advance calls (the clock moves one step at a time)
+	// and guards the scratch buffers below, which are reused across steps
+	// so a steady-state Advance allocates nothing on the scheduling path.
+	advMu sync.Mutex
+	due   []core.DueEntry
+	batch []*Subscription
+	outs  [][]pendingResult
+	flat  []pendingResult
 }
 
 // Open stands up a Service over the configured sensor field. Configuration
@@ -233,18 +246,20 @@ func (s *Service) runClock(tick time.Duration) {
 
 // Now returns the service's current virtual time.
 func (s *Service) Now() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.now
 }
 
 // NodeCount returns the number of sensor nodes in the field.
 func (s *Service) NodeCount() int { return s.engine.NodeCount() }
 
-// Subscribers returns the number of live subscriptions.
+// Subscribers returns the number of live subscriptions. It takes only a
+// read lock, so introspection never blocks Subscribe or an in-flight
+// Advance.
 func (s *Service) Subscribers() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.subs)
 }
 
@@ -254,27 +269,96 @@ func (s *Service) Subscribers() int {
 // clock jumped past it in one coarse step, or because a real-time service
 // stalled — is delivered marked late. Advance is exactly reproducible:
 // the same configuration and call sequence yields the same results.
+//
+// The cost of a step is O(due): the engine's due-period schedule hands
+// back exactly the subscriptions with a period boundary at or before the
+// new time, so a tick on which nothing is due returns in constant time no
+// matter how many subscribers are idle. Due subscriptions are evaluated
+// in parallel across the engine's worker pool (waypoint update plus
+// freshness-windowed evaluation per period); the finished batch is then
+// merged and delivered serially in ascending (deadline, id) order, so
+// results are byte-identical whatever the Shards/Workers configuration.
 func (s *Service) Advance(d time.Duration) error {
 	if d < 0 {
 		return fmt.Errorf("mobiquery: cannot advance time backwards (%v)", d)
 	}
+	s.advMu.Lock()
+	defer s.advMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return fmt.Errorf("mobiquery: service is closed")
 	}
 	s.now += d
+	now := s.now
+	s.mu.Unlock()
 
-	// Deterministic order: ascending subscription id.
-	ids := make([]uint32, 0, len(s.subs))
-	for id := range s.subs {
-		ids = append(ids, id)
+	// Collect the due batch: one entry per subscription with a period
+	// boundary reached, in (due, id) order. Nothing due — the common case
+	// for a fine-grained clock over long-period queries — is a peek.
+	s.due = s.engine.PopDue(now, s.due[:0])
+	if len(s.due) == 0 {
+		return nil
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		s.subs[id].pump(s.now)
+	s.batch = s.batch[:0]
+	s.mu.RLock()
+	for _, de := range s.due {
+		// A schedule entry can outlive its subscription by one pop when a
+		// Close races an evaluation re-arm; the registry is authoritative.
+		if sub := s.subs[de.ID]; sub != nil {
+			s.batch = append(s.batch, sub)
+		}
 	}
+	s.mu.RUnlock()
+
+	// Fan the due subscriptions across the worker pool. Each worker drains
+	// every period of its subscription due by now into a private buffer;
+	// subscriptions are independent, so the fan-out cannot change results.
+	if len(s.outs) < len(s.batch) {
+		s.outs = append(s.outs, make([][]pendingResult, len(s.batch)-len(s.outs))...)
+	}
+	outs, batch := s.outs[:len(s.batch)], s.batch
+	s.engine.Dispatch(len(batch), func(i int) {
+		outs[i] = batch[i].collectDue(now, outs[i][:0])
+	})
+
+	// Merge and deliver serially in deterministic (deadline, id) order.
+	s.flat = s.flat[:0]
+	for i := range outs {
+		s.flat = append(s.flat, outs[i]...)
+	}
+	slices.SortFunc(s.flat, func(a, b pendingResult) int {
+		if a.due != b.due {
+			return cmp.Compare(a.due, b.due)
+		}
+		return cmp.Compare(a.sub.id, b.sub.id)
+	})
+	for i := range s.flat {
+		p := &s.flat[i]
+		if p.expire {
+			s.removeSub(p.sub)
+		} else {
+			p.sub.deliver(&p.result)
+		}
+	}
+	// Zero the pointer-holding scratch so a burst-sized batch doesn't pin
+	// closed subscriptions for the life of the service. Capacities are
+	// kept; only the windows used this step hold non-zero data.
+	clear(s.batch)
+	for i := range outs {
+		clear(outs[i])
+	}
+	clear(s.flat)
 	return nil
+}
+
+// removeSub unregisters sub from the service and tears it down. Safe to
+// call more than once and from any goroutine.
+func (s *Service) removeSub(sub *Subscription) {
+	s.mu.Lock()
+	delete(s.subs, sub.id)
+	s.mu.Unlock()
+	sub.close()
 }
 
 // Close shuts the service down: every subscription is closed (its Results
@@ -282,14 +366,20 @@ func (s *Service) Advance(d time.Duration) error {
 // Close is idempotent.
 func (s *Service) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
 	close(s.stop)
+	subs := make([]*Subscription, 0, len(s.subs))
 	for _, sub := range s.subs {
-		sub.closeLocked()
+		subs = append(subs, sub)
+	}
+	clear(s.subs)
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.close()
 	}
 	return nil
 }

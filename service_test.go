@@ -350,6 +350,48 @@ func TestBackpressureDropsInsteadOfStalling(t *testing.T) {
 	}
 }
 
+// TestDropAccountingUnderFullBuffer pins the Subscribe contract for slow
+// consumers: every period is accounted exactly once — delivered or
+// dropped, never both, never lost — NextPeriod keeps advancing past drops,
+// and a drained buffer resumes delivery with the periods that overflowed
+// counted only in Dropped.
+func TestDropAccountingUnderFullBuffer(t *testing.T) {
+	svc := mustOpen(t, WithResultBuffer(1))
+	sub, err := svc.Subscribe(context.Background(), centerSpec(), StaticPosition(Pt(225, 225)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := svc.Advance(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sub.Stats()
+	if st.Delivered != 1 || st.Dropped != 4 {
+		t.Fatalf("stats = %+v, want 1 delivered / 4 dropped", st)
+	}
+	if st.Delivered+st.Dropped != st.NextPeriod-1 {
+		t.Fatalf("accounting leak: %d delivered + %d dropped != %d periods evaluated",
+			st.Delivered, st.Dropped, st.NextPeriod-1)
+	}
+	// The oldest result survived; the overflow was discarded newest-first.
+	if r := <-sub.Results(); r.K != 1 {
+		t.Errorf("buffered result is K=%d, want 1", r.K)
+	}
+	// Draining made room: the next period delivers again and the dropped
+	// periods stay dropped (K jumps over them).
+	if err := svc.Advance(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r := <-sub.Results(); r.K != 6 {
+		t.Errorf("post-drain result is K=%d, want 6", r.K)
+	}
+	st = sub.Stats()
+	if st.Delivered != 2 || st.Dropped != 4 || st.NextPeriod != 7 {
+		t.Fatalf("post-drain stats = %+v, want 2 delivered / 4 dropped / next 7", st)
+	}
+}
+
 func TestLifetimeEndsSubscription(t *testing.T) {
 	spec := centerSpec()
 	spec.Lifetime = 4 * time.Second // two periods

@@ -3,6 +3,7 @@ package mobiquery
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"mobiquery/internal/core"
@@ -108,18 +109,34 @@ type SubscriptionStats struct {
 // the subscription ends (Close, context cancellation, service Close, or
 // the spec's Lifetime running out).
 type Subscription struct {
-	svc    *Service
-	id     uint32
-	spec   QuerySpec
-	src    MotionSource
-	t0     time.Duration
-	agg    AggKind
-	manual *Point // set by UpdateWaypoint; overrides src from then on
+	svc  *Service
+	id   uint32
+	spec QuerySpec
+	src  MotionSource
+	t0   time.Duration
+	agg  AggKind
 
 	results chan QueryResult
 	done    chan struct{} // closed with the subscription; wakes watchers
-	closed  bool
-	stats   SubscriptionStats
+
+	// mu guards the mutable session state. It is per-subscription so one
+	// user's waypoint updates, stats reads, and deliveries never contend
+	// with another's, and none of them block the service registry lock.
+	mu     sync.Mutex
+	manual *Point // set by UpdateWaypoint; overrides src from then on
+	closed bool
+	stats  SubscriptionStats
+}
+
+// pendingResult is one evaluated period awaiting delivery (or, with
+// expire set, a subscription whose spec Lifetime ran out at due). Workers
+// produce them in parallel; Advance merges and delivers them serially in
+// (due, id) order.
+type pendingResult struct {
+	sub    *Subscription
+	due    time.Duration
+	result QueryResult
+	expire bool
 }
 
 // Subscribe registers a streaming query for a mobile user whose position
@@ -193,22 +210,21 @@ func (sub *Subscription) Spec() QuerySpec { return sub.spec }
 // waypoint is ground truth). Subsequent periods are evaluated at the
 // updated position until the next update.
 func (sub *Subscription) UpdateWaypoint(p Point) error {
-	s := sub.svc
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sub.mu.Lock()
 	if sub.closed {
+		sub.mu.Unlock()
 		return fmt.Errorf("mobiquery: subscription %d is closed", sub.id)
 	}
 	sub.manual = &p
-	s.engine.UpdateWaypoint(sub.id, p)
+	sub.mu.Unlock()
+	sub.svc.engine.UpdateWaypoint(sub.id, p)
 	return nil
 }
 
 // Stats returns the subscription's delivery ledger so far.
 func (sub *Subscription) Stats() SubscriptionStats {
-	s := sub.svc
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
 	return sub.stats
 }
 
@@ -216,93 +232,116 @@ func (sub *Subscription) Stats() SubscriptionStats {
 // frees the query, and the Results channel is closed after any buffered
 // results. Other subscribers are unaffected. Close is idempotent.
 func (sub *Subscription) Close() error {
-	s := sub.svc
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sub.closeLocked()
+	sub.svc.removeSub(sub)
 	return nil
 }
 
-// closeLocked tears the subscription down. Caller holds svc.mu.
-func (sub *Subscription) closeLocked() {
+// close tears the subscription down: marks it closed, ends the result
+// stream, and frees the engine query. Idempotent; callers remove it from
+// the service registry separately (removeSub, service Close).
+func (sub *Subscription) close() {
+	sub.mu.Lock()
 	if sub.closed {
+		sub.mu.Unlock()
 		return
 	}
 	sub.closed = true
-	sub.svc.engine.Deregister(sub.id)
-	delete(sub.svc.subs, sub.id)
+	// Closed under mu: deliver sends under the same lock, so a racing
+	// Advance can never write to a closed channel.
 	close(sub.results)
 	close(sub.done)
+	sub.mu.Unlock()
+	sub.svc.engine.Deregister(sub.id)
 }
 
-// position returns where the user is at virtual time t (absolute service
-// time): the last explicit waypoint if one was reported, else the motion
-// source's prediction.
-func (sub *Subscription) position(t time.Duration) Point {
-	if sub.manual != nil {
-		return *sub.manual
-	}
-	return sub.src.PositionAt(t - sub.t0)
-}
-
-// pump evaluates and delivers every period of this subscription that is
-// due by virtual time now. Caller holds svc.mu.
-func (sub *Subscription) pump(now time.Duration) {
-	if sub.closed {
-		return
-	}
+// collectDue evaluates every period of this subscription due by virtual
+// time now, appending one pendingResult per period (and an expire marker
+// when the spec's Lifetime runs out). It runs on a dispatch worker and
+// touches only this subscription's engine query and session state, so
+// distinct subscriptions evaluate in parallel; delivery happens later, in
+// the merged serial phase.
+func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult) []pendingResult {
 	eng := sub.svc.engine
 	for {
+		sub.mu.Lock()
+		closed, manual := sub.closed, sub.manual
+		sub.mu.Unlock()
+		if closed {
+			return buf
+		}
 		_, due, ok := eng.NextDue(sub.id)
 		if !ok {
-			return
+			return buf
 		}
 		// The lifetime check precedes the due check: it depends only on
 		// the period index, so a session whose clock stops exactly at
 		// t0+Lifetime still closes its stream after the final result.
 		if sub.spec.Lifetime > 0 && due > sub.t0+sub.spec.Lifetime {
-			sub.closeLocked()
-			return
+			return append(buf, pendingResult{sub: sub, due: due, expire: true})
 		}
 		if due > now {
-			return
+			return buf
 		}
 		// The waypoint is evaluated as of the period boundary, so coarse
 		// clock steps still see the position the user held at the
 		// deadline.
-		eng.UpdateWaypoint(sub.id, sub.position(due))
+		var pos Point
+		if manual != nil {
+			pos = *manual
+		} else {
+			pos = sub.src.PositionAt(due - sub.t0)
+		}
+		eng.UpdateWaypoint(sub.id, pos)
 		wr, ok := eng.EvaluateDue(sub.id, now)
 		if !ok {
-			return
+			return buf
 		}
-		qr := QueryResult{
-			K:            wr.K,
-			Deadline:     wr.Due,
-			Received:     true,
-			OnTime:       !wr.Late,
-			Value:        wr.Data.Value(sub.agg),
-			Contributors: wr.Data.Count,
-			AreaNodes:    wr.AreaNodes,
-			EvaluatedAt:  wr.EvaluatedAt,
-			Lateness:     wr.Lateness,
-			StaleNodes:   wr.StaleNodes,
-			MaxStaleness: wr.MaxStaleness,
-		}
-		if wr.AreaNodes > 0 {
-			qr.Fidelity = float64(wr.Data.Count) / float64(wr.AreaNodes)
-		} else {
-			qr.Fidelity = 1 // empty area: vacuously perfect
-		}
-		qr.Success = qr.OnTime && qr.Fidelity >= SuccessThreshold
-		sub.stats.NextPeriod = wr.K + 1
-		if wr.Late {
-			sub.stats.Late++
-		}
-		select {
-		case sub.results <- qr:
-			sub.stats.Delivered++
-		default:
-			sub.stats.Dropped++
-		}
+		buf = append(buf, pendingResult{sub: sub, due: wr.Due, result: sub.makeResult(wr)})
+	}
+}
+
+// makeResult converts one engine window evaluation into the public
+// per-period result.
+func (sub *Subscription) makeResult(wr core.WindowResult) QueryResult {
+	qr := QueryResult{
+		K:            wr.K,
+		Deadline:     wr.Due,
+		Received:     true,
+		OnTime:       !wr.Late,
+		Value:        wr.Data.Value(sub.agg),
+		Contributors: wr.Data.Count,
+		AreaNodes:    wr.AreaNodes,
+		EvaluatedAt:  wr.EvaluatedAt,
+		Lateness:     wr.Lateness,
+		StaleNodes:   wr.StaleNodes,
+		MaxStaleness: wr.MaxStaleness,
+	}
+	if wr.AreaNodes > 0 {
+		qr.Fidelity = float64(wr.Data.Count) / float64(wr.AreaNodes)
+	} else {
+		qr.Fidelity = 1 // empty area: vacuously perfect
+	}
+	qr.Success = qr.OnTime && qr.Fidelity >= SuccessThreshold
+	return qr
+}
+
+// deliver hands one evaluated period to the subscriber, keeping the
+// drop-vs-deliver ledger: when the buffer is full the result is discarded
+// and counted in Stats().Dropped rather than stalling the service.
+func (sub *Subscription) deliver(r *QueryResult) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	sub.stats.NextPeriod = r.K + 1
+	if !r.OnTime {
+		sub.stats.Late++
+	}
+	select {
+	case sub.results <- *r:
+		sub.stats.Delivered++
+	default:
+		sub.stats.Dropped++
 	}
 }
