@@ -29,8 +29,15 @@ bench-json:
 # Compare the fresh BENCH_pr.json against the committed baseline, so
 # regressions on the hot paths (Advance, EvaluateDue, dispatch) are
 # visible per PR. Uses benchstat when installed, else the built-in table.
+# BENCH_THRESHOLD > 0 turns the comparison into a gate: exit non-zero when
+# any benchmark's ns/op regresses beyond that percentage (CI uses 200, wide
+# enough for single-iteration smoke noise but failing on order-of-magnitude
+# breaks of the scenario paths; sub-100µs benchmarks are exempt via the
+# tool's -floor, since one smoke iteration of those is pure noise). The
+# default 0 is informational only.
+BENCH_THRESHOLD ?= 0
 bench-compare: bench-json
-	$(GO) run ./cmd/mobiquery-benchcmp -baseline BENCH_baseline.json -current BENCH_pr.json
+	$(GO) run ./cmd/mobiquery-benchcmp -baseline BENCH_baseline.json -current BENCH_pr.json -threshold $(BENCH_THRESHOLD)
 
 fmt:
 	@out="$$(gofmt -l .)"; \

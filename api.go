@@ -47,6 +47,7 @@ import (
 	"mobiquery/internal/field"
 	"mobiquery/internal/geom"
 	"mobiquery/internal/metrics"
+	"mobiquery/internal/prefetch"
 )
 
 // Scheme selects the prefetching strategy.
@@ -260,7 +261,21 @@ type QueryResult struct {
 	// deadline, of the oldest reading that did contribute.
 	StaleNodes   int
 	MaxStaleness time.Duration
+
+	// Warmup marks a period inside the equation-16 warmup interval after
+	// Subscribe or a re-plan: the subscription's prefetch chains were not
+	// yet staged, so the result fell back to on-demand collection.
+	// PrefetchedNodes counts contributors served from prefetched readings
+	// staged along the motion profile. Both stay zero under the on-demand
+	// strategy.
+	Warmup          bool
+	PrefetchedNodes int
 }
+
+// PrefetchStats is a prefetching subscription's planner ledger
+// (Subscription.PrefetchStats): replans, prefetched readings served, and
+// the end of the current equation-16 warmup interval.
+type PrefetchStats = prefetch.Stats
 
 // Result summarizes a batch run.
 type Result struct {

@@ -416,6 +416,70 @@ func BenchmarkAdvanceDenseSerial(b *testing.B) {
 	}
 }
 
+// benchPrefetchService opens a sleepy-field service (3 s duty cycle) and
+// loads it with moving subscribers under the given prefetch strategy, all
+// sharing one period — the planner-path analogue of benchAdvanceService.
+func benchPrefetchService(b *testing.B, subscribers int, period time.Duration, strat Strategy) *Service {
+	b.Helper()
+	nc := NetworkConfig{
+		Seed: 1, Nodes: 5000, RegionSide: 2000,
+		SamplePeriod: 3 * time.Second,
+	}
+	svc, err := Open(context.Background(), nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	rng := rand.New(rand.NewSource(2))
+	region := geom.Square(nc.RegionSide)
+	spec := QuerySpec{Radius: 150, Period: period, Freshness: time.Second, Strategy: strat}
+	for i := 0; i < subscribers; i++ {
+		p := region.UniformPoint(rng)
+		if _, err := svc.Subscribe(context.Background(), spec, LinearMotion(p, 2, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// BenchmarkAdvancePrefetch measures the planner's cost on the Advance hot
+// path for each strategy, in both regimes: dense (every subscriber's period
+// due per tick, so each evaluation runs the per-query sampler and plan
+// lookups) and idle (nothing due, pinning that planners add nothing to the
+// O(1) scheduling path).
+func BenchmarkAdvancePrefetch(b *testing.B) {
+	strategies := []struct {
+		name  string
+		strat Strategy
+	}{
+		{"OnDemand", OnDemandStrategy()},
+		{"JIT", JITStrategy()},
+		{"Greedy", GreedyStrategy(0)},
+	}
+	for _, s := range strategies {
+		b.Run(s.name+"Dense", func(b *testing.B) {
+			b.ReportAllocs()
+			svc := benchPrefetchService(b, 500, time.Second, s.strat)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Advance(time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(s.name+"Idle", func(b *testing.B) {
+			b.ReportAllocs()
+			svc := benchPrefetchService(b, 2000, time.Hour, s.strat)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Advance(time.Microsecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkExtensionTwoUsers measures two concurrent mobile users sharing
 // the network — the multi-user load the Section 5 contention analysis
 // anticipates. Reports each user's success ratio.

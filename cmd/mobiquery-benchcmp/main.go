@@ -239,9 +239,39 @@ func table(base, cur *run) {
 	fmt.Println("\n(single-iteration smoke numbers; * marks deltas beyond ±10%)")
 }
 
+// regressions lists the benchmarks present in both runs whose ns/op grew
+// beyond threshold percent, formatted for the failure report. A threshold
+// of zero (or below) disables the gate. Benchmarks whose baseline runs
+// faster than floor ns/op are exempt: a single smoke iteration of a
+// microsecond-scale benchmark is dominated by timer granularity and
+// cold-start effects (a one-off page fault reads as +1000%), so only the
+// benchmarks long enough to time reliably in one iteration are gated.
+func regressions(base, cur *run, threshold, floor float64) []string {
+	if threshold <= 0 {
+		return nil
+	}
+	var out []string
+	for _, name := range cur.order {
+		bv, okB := base.results[name]["ns/op"]
+		cv, okC := cur.results[name]["ns/op"]
+		if !okB || !okC || bv <= 0 {
+			continue // new benchmark, or no timing metric: nothing to gate on
+		}
+		if bv < floor {
+			continue // too fast for a single iteration to mean anything
+		}
+		if d := 100 * (cv - bv) / bv; d > threshold {
+			out = append(out, fmt.Sprintf("%s: %.4g -> %.4g ns/op (%+.1f%% > %.0f%%)", name, bv, cv, d, threshold))
+		}
+	}
+	return out
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline test2json stream")
 	current := flag.String("current", "BENCH_pr.json", "freshly produced test2json stream")
+	threshold := flag.Float64("threshold", 0, "fail when any benchmark's ns/op regresses beyond this percentage against the baseline (0 = informational only)")
+	floor := flag.Float64("floor", 100_000, "exempt benchmarks whose baseline ns/op is below this from the threshold gate (single smoke iterations of fast benchmarks are noise)")
 	flag.Parse()
 
 	base, err := parse(*baseline)
@@ -258,8 +288,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mobiquery-benchcmp: no benchmark results in %s\n", *current)
 		os.Exit(1)
 	}
-	if viaBenchstat(base, cur) {
-		return
+	if !viaBenchstat(base, cur) {
+		table(base, cur)
 	}
-	table(base, cur)
+	if bad := regressions(base, cur, *threshold, *floor); len(bad) != 0 {
+		fmt.Fprintf(os.Stderr, "\nmobiquery-benchcmp: %d benchmark(s) regressed beyond the %.0f%% gate:\n", len(bad), *threshold)
+		for _, line := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", line)
+		}
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stream writes a minimal test2json stream with the given benchmark result
+// lines and returns its path.
+func stream(t *testing.T, lines ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, l := range lines {
+		sb.WriteString(`{"Action":"output","Package":"mobiquery","Output":"` + l + `\n"}` + "\n")
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseExtractsResults(t *testing.T) {
+	r, err := parse(stream(t,
+		"BenchmarkAdvanceIdle-8   34044992   75.24 ns/op   0 B/op   0 allocs/op",
+		"BenchmarkAdvanceDense-8   120   8.8e+06 ns/op   8900 allocs/op",
+		"not a benchmark line",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(r.results), r.order)
+	}
+	if v := r.results["BenchmarkAdvanceIdle"]["ns/op"]; v != 75.24 {
+		t.Errorf("AdvanceIdle ns/op = %v", v)
+	}
+	if v := r.results["BenchmarkAdvanceDense"]["allocs/op"]; v != 8900 {
+		t.Errorf("AdvanceDense allocs/op = %v", v)
+	}
+}
+
+// TestParseRejoinsSplitName covers the test2json quirk the parser exists
+// for: the benchmark name flushed in one output event, metrics in the next.
+func TestParseRejoinsSplitName(t *testing.T) {
+	r, err := parse(stream(t,
+		"BenchmarkSessionStream-8",
+		"10   1.2e+08 ns/op   6000 periods/s",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.results["BenchmarkSessionStream"]["periods/s"]; v != 6000 {
+		t.Fatalf("split-line result not rejoined: %v", r.results)
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	base, err := parse(stream(t,
+		"BenchmarkA-8   100   100 ns/op",
+		"BenchmarkB-8   100   1000 ns/op",
+		"BenchmarkGone-8   100   50 ns/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parse(stream(t,
+		"BenchmarkA-8   100   350 ns/op",  // +250%
+		"BenchmarkB-8   100   1100 ns/op", // +10%
+		"BenchmarkNew-8   100   77 ns/op", // no baseline: never gated
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := regressions(base, cur, 0, 0); got != nil {
+		t.Errorf("threshold 0 must be informational, got %v", got)
+	}
+	got := regressions(base, cur, 200, 0)
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkA") {
+		t.Errorf("200%% gate = %v, want exactly BenchmarkA", got)
+	}
+	if got := regressions(base, cur, 5, 0); len(got) != 2 {
+		t.Errorf("5%% gate = %v, want BenchmarkA and BenchmarkB", got)
+	}
+	// The noise floor exempts benchmarks too fast to time in one
+	// iteration: with a 500 ns floor only BenchmarkB (1000 ns) is gated.
+	if got := regressions(base, cur, 5, 500); len(got) != 1 || !strings.Contains(got[0], "BenchmarkB") {
+		t.Errorf("floored 5%% gate = %v, want exactly BenchmarkB", got)
+	}
+}

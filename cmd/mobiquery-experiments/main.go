@@ -28,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mobiquery-experiments", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, churn, or all")
+		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, churn, prefetch, or all")
 		runs    = fs.Int("runs", 0, "topologies per data point (0 = paper's count)")
 		scale   = fs.Float64("scale", 1, "session length scale factor (1 = paper durations)")
 		seed    = fs.Int64("seed", 1, "base seed")
@@ -66,6 +66,10 @@ func run(args []string) error {
 		}
 	case "churn":
 		if err := printChurn(*seed, *users, *nodes, *shards, *workers); err != nil {
+			return err
+		}
+	case "prefetch":
+		if err := printPrefetch(*seed, *users, *nodes, *shards, *workers); err != nil {
 			return err
 		}
 	case "all":
@@ -164,5 +168,54 @@ func printChurn(seed int64, users, nodes, shards, workers int) error {
 	fmt.Printf("  %d joins, %d leaves, peak %d live users, %.1f fresh sensors per result\n",
 		res.Joins, res.Leaves, res.PeakLive, res.MeanFresh)
 	fmt.Printf("  static users' digest unchanged by churn: %#x\n", res.StaticDigest)
+	return nil
+}
+
+// printPrefetch runs the strategy-comparison scenario — the same mobile
+// users and sleepy sensor field evaluated on demand, with just-in-time
+// prefetching, and with greedy prefetching — twice (once with swapped
+// engine sizing) to verify the digests are invariant, and checks the
+// headline property that prefetching reduces late periods.
+func printPrefetch(seed int64, users, nodes, shards, workers int) error {
+	cfg := experiment.DefaultPrefetch()
+	cfg.Seed = seed
+	if users != 0 {
+		cfg.Users = users
+	}
+	if nodes != 0 {
+		cfg.Nodes = nodes
+	}
+	cfg.Shards = shards
+	cfg.Workers = workers
+
+	fmt.Printf("prefetch scenario: %d mobile users on a %d-node field (%v session, Tperiod=%v, Tfresh=%v, duty cycle %v, tick %v)\n",
+		cfg.Users, cfg.Nodes, cfg.Duration, cfg.Period, cfg.Fresh, cfg.SamplePeriod, cfg.Tick)
+
+	res, err := experiment.RunPrefetch(cfg)
+	if err != nil {
+		return err
+	}
+	alt := cfg
+	alt.Shards, alt.Workers = 1, 1
+	ref, err := experiment.RunPrefetch(alt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-12s %8s %8s %8s %10s %10s %9s %8s  %s\n",
+		"strategy", "periods", "late", "warmup", "stale", "prefetched", "staleness", "storage", "digest")
+	for i, out := range res.Outcomes() {
+		if out.Digest != ref.Outcomes()[i].Digest {
+			return fmt.Errorf("%v digest moved across engine sizing (%#x vs %#x) — engine bug", out.Strategy, out.Digest, ref.Outcomes()[i].Digest)
+		}
+		fmt.Printf("  %-12v %8d %8d %8d %10d %10d %9v %8d  %#x\n",
+			out.Strategy, out.Evaluations, out.Late, out.WarmupPeriods, out.StaleExclusions,
+			out.PrefetchedReadings, out.MeanStaleness.Truncate(time.Millisecond), out.PeakOutstanding, out.Digest)
+	}
+	if res.JIT.Late >= res.OnDemand.Late || res.Greedy.Late >= res.OnDemand.Late {
+		return fmt.Errorf("prefetching did not reduce late periods (on-demand %d, jit %d, greedy %d) — planner bug",
+			res.OnDemand.Late, res.JIT.Late, res.Greedy.Late)
+	}
+	fmt.Printf("  digests invariant to Shards/Workers; prefetching cut late periods %d -> %d (jit) / %d (greedy) in %v\n",
+		res.OnDemand.Late, res.JIT.Late, res.Greedy.Late, res.Elapsed.Truncate(time.Millisecond))
 	return nil
 }

@@ -34,3 +34,12 @@ func TestRunChurnScenarioSmall(t *testing.T) {
 		t.Fatalf("run failed: %v", err)
 	}
 }
+
+func TestRunPrefetchScenarioSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the prefetch scenario")
+	}
+	if err := run([]string{"-fig", "prefetch", "-users", "10", "-nodes", "2000"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}

@@ -64,6 +64,12 @@ type liveQuery struct {
 	pos      atomic.Pointer[geom.Point]
 	tmu      sync.Mutex
 	temporal *temporalState
+	// sampler overrides the engine-global Sampler for this query's windowed
+	// evaluations, and plan is the prefetch plan EvaluateDue consults; both
+	// are nil (pure on-demand behavior) unless a prefetch planner installed
+	// them via SetQuerySampler/SetQueryPlan. Guarded by tmu.
+	sampler AreaSampler
+	plan    PrefetchPlan
 }
 
 type engineStripe struct {
@@ -259,6 +265,9 @@ type areaHit struct {
 	id     int32
 	pos    geom.Point
 	sample sim.Time
+	// prefetched marks a reading served from the query's prefetch plan
+	// (always false on the instantaneous path).
+	prefetched bool
 }
 
 // hitsByID orders collected hits by node id so Nodes, Contribs, and float

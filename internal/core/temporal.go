@@ -18,6 +18,27 @@ import (
 // (same arguments, same answer) and safe for concurrent use.
 type Sampler func(id int32, at sim.Time) (sim.Time, bool)
 
+// AreaSampler is the per-query form of Sampler used by prefetch-planned
+// queries: it additionally sees the node's position — so a plan can decide
+// whether the node falls inside a predicted pickup area — and reports
+// whether the reading it served came from the prefetch plan rather than
+// the node sampling schedule. Like Sampler it must be pure and safe for
+// concurrent use.
+type AreaSampler func(id int32, pos geom.Point, at sim.Time) (t sim.Time, ok bool, prefetched bool)
+
+// PrefetchPlan is what a temporal query consults about its prefetch state;
+// internal/prefetch.Planner implements it. A nil plan (the default) keeps
+// the on-demand behavior exactly.
+type PrefetchPlan interface {
+	// PeriodStatus returns the plan's view of the period due at `due`, as
+	// one atomic snapshot (so a re-plan racing the evaluation cannot split
+	// staging and warmup across two plans): ready is when the prefetched
+	// answer was staged at the user's pickup point (meaningful only when
+	// staged is true); warmup marks a covered period whose chain missed
+	// its forward deadline, which the evaluation then serves on-demand.
+	PeriodStatus(due sim.Time) (ready sim.Time, staged, warmup bool)
+}
+
 // TemporalSpec is the temporal contract of a streaming query: one result
 // per Period, due Deadline after each period boundary, computed from
 // readings no staler than Fresh at the boundary. It is the engine-level
@@ -102,6 +123,12 @@ type WindowResult struct {
 	StaleNodes int
 	// MaxStaleness is the age at Due of the oldest contributing reading.
 	MaxStaleness time.Duration
+	// Prefetched counts contributing readings served from the query's
+	// prefetch plan rather than the node sampling schedule; Warmup marks a
+	// period inside the plan's equation-16 warmup interval. Both stay zero
+	// for queries without a plan.
+	Prefetched int
+	Warmup     bool
 }
 
 // ScheduleSampler builds the standard periodic sampling schedule: node id
@@ -125,6 +152,38 @@ func ScheduleSampler(period time.Duration, phase func(id int32) sim.Time) Sample
 // use. Must be called before any evaluation starts; it is not synchronized
 // with concurrent evaluations.
 func (e *QueryEngine) SetSampler(s Sampler) { e.sampler = s }
+
+// SetQuerySampler installs a per-query sampler on a temporal query,
+// overriding the engine-global Sampler for that query's windowed
+// evaluations — this is how a prefetch planner feeds planned readings into
+// evaluation. It reports whether the query exists and carries a temporal
+// contract. Safe to call concurrently with evaluations: the new sampler
+// takes effect from the next period.
+func (e *QueryEngine) SetQuerySampler(queryID uint32, s AreaSampler) bool {
+	q := e.temporal(queryID)
+	if q == nil {
+		return false
+	}
+	q.tmu.Lock()
+	q.sampler = s
+	q.tmu.Unlock()
+	return true
+}
+
+// SetQueryPlan attaches a prefetch plan to a temporal query: EvaluateDue
+// then credits periods the plan staged by their boundary as evaluated at
+// the boundary, and flags warmup periods. It reports whether the query
+// exists and carries a temporal contract.
+func (e *QueryEngine) SetQueryPlan(queryID uint32, p PrefetchPlan) bool {
+	q := e.temporal(queryID)
+	if q == nil {
+		return false
+	}
+	q.tmu.Lock()
+	q.plan = p
+	q.tmu.Unlock()
+	return true
+}
 
 // RegisterTemporalE registers a live query carrying a temporal contract:
 // periods are counted from t0, with the first result due at t0+Period.
@@ -187,9 +246,31 @@ func (e *QueryEngine) EvaluateDue(queryID uint32, now sim.Time) (WindowResult, b
 	res.K = t.nextK
 	res.Due = due
 	res.EvaluatedAt = now
-	if now > due+t.spec.Deadline {
+	if q.plan != nil {
+		// A period the prefetch chain staged at the pickup point by its
+		// boundary was materially available to the user then — the clock
+		// tick that collects it merely relays a finished answer, so the
+		// period is accounted as evaluated when it was staged, not when
+		// the tick got to it. The credit requires the whole delivered
+		// answer to have been staged: every contributing reading from the
+		// plan (or a genuinely empty area). A partially mispredicted
+		// pickup circle means the on-demand remainder only existed at the
+		// tick, so the period keeps honest tick/lateness accounting, as do
+		// unstaged (warmup) periods.
+		ready, staged, warmup := q.plan.PeriodStatus(due)
+		covered := res.Prefetched == res.Data.Count &&
+			(res.Data.Count > 0 || res.AreaNodes == 0)
+		if staged && ready <= now && covered {
+			if ready < due {
+				ready = due
+			}
+			res.EvaluatedAt = ready
+		}
+		res.Warmup = warmup
+	}
+	if res.EvaluatedAt > due+t.spec.Deadline {
 		res.Late = true
-		res.Lateness = now - due
+		res.Lateness = res.EvaluatedAt - due
 	}
 	t.nextK++
 	t.evaluated++
@@ -241,15 +322,18 @@ func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Ti
 	hits := q.temporal.scratch[:0]
 	e.grid.VisitWithin(center, q.radius, func(id int32, pos geom.Point) {
 		out.AreaNodes++
-		sample, ok := due, true
-		if e.sampler != nil {
+		sample, ok, prefetched := due, true, false
+		switch {
+		case q.sampler != nil:
+			sample, ok, prefetched = q.sampler(id, pos, due)
+		case e.sampler != nil:
 			sample, ok = e.sampler(id, due)
 		}
 		if !ok || (spec.Fresh > 0 && due-sample > spec.Fresh) || sample > due {
 			out.StaleNodes++
 			return
 		}
-		hits = append(hits, areaHit{id: id, pos: pos, sample: sample})
+		hits = append(hits, areaHit{id: id, pos: pos, sample: sample, prefetched: prefetched})
 	})
 	// Sort by id so Nodes and float accumulation order are deterministic
 	// regardless of shard layout, exactly as the instantaneous path does.
@@ -259,6 +343,9 @@ func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Ti
 	for _, h := range hits {
 		out.Nodes = append(out.Nodes, radio.NodeID(h.id))
 		out.Data.AddReading(radio.NodeID(h.id), e.fld.Sample(h.pos, h.sample))
+		if h.prefetched {
+			out.Prefetched++
+		}
 		if age := due - h.sample; age > out.MaxStaleness {
 			out.MaxStaleness = age
 		}

@@ -208,6 +208,167 @@ func TestEvaluateDueNonTemporalAndUnknown(t *testing.T) {
 	}
 }
 
+// fakePlan is a scripted PrefetchPlan: boundaries in staged are ready at
+// the boundary itself; boundaries before warmupUntil are warmup.
+type fakePlan struct {
+	staged      map[sim.Time]bool
+	warmupUntil sim.Time
+}
+
+func (f fakePlan) PeriodStatus(due sim.Time) (sim.Time, bool, bool) {
+	return due, f.staged[due], due < f.warmupUntil
+}
+
+// TestPerQuerySamplerOverridesGlobal pins the per-query sampler hook: a
+// query with its own AreaSampler ignores the engine-global schedule, serves
+// plan readings to the nodes the sampler marks, and counts them in
+// Prefetched — while other queries keep the global schedule.
+func TestPerQuerySamplerOverridesGlobal(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: 2 * time.Second, Fresh: time.Second}
+	if err := e.RegisterTemporalE(1, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTemporalE(2, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Query 1's sampler: nodes left of x=25 get a fresh prefetched reading
+	// captured at the boundary; the rest are unsampled.
+	ok := e.SetQuerySampler(1, func(id int32, pos geom.Point, at sim.Time) (sim.Time, bool, bool) {
+		if pos.X < 25 {
+			return at, true, true
+		}
+		return 0, false, false
+	})
+	if !ok {
+		t.Fatal("SetQuerySampler rejected a temporal query")
+	}
+
+	res, ok := e.EvaluateDue(1, 2*time.Second)
+	if !ok {
+		t.Fatal("EvaluateDue should fire")
+	}
+	// Nodes 0 (x=10) and 1 (x=20) prefetched fresh; node 2 (x=30) unsampled.
+	if res.Prefetched != 2 || len(res.Nodes) != 2 || res.StaleNodes != 1 {
+		t.Errorf("prefetched/nodes/stale = %d/%d/%d, want 2/2/1", res.Prefetched, len(res.Nodes), res.StaleNodes)
+	}
+	if res.MaxStaleness != 0 {
+		t.Errorf("boundary-captured readings should have zero staleness, got %v", res.MaxStaleness)
+	}
+
+	// Query 2 still sees the global schedule: only node 0 is fresh.
+	res2, _ := e.EvaluateDue(2, 2*time.Second)
+	if res2.Prefetched != 0 || len(res2.Nodes) != 1 || res2.StaleNodes != 2 {
+		t.Errorf("global-sampler query: prefetched/nodes/stale = %d/%d/%d, want 0/1/2", res2.Prefetched, len(res2.Nodes), res2.StaleNodes)
+	}
+
+	// The hooks are temporal-only.
+	e.Register(5, 100, geom.Pt(0, 0))
+	if e.SetQuerySampler(5, nil) || e.SetQueryPlan(5, nil) {
+		t.Error("per-query hooks accepted a non-temporal query")
+	}
+	if e.SetQuerySampler(99, nil) || e.SetQueryPlan(99, nil) {
+		t.Error("per-query hooks accepted an unknown query")
+	}
+}
+
+// TestEvaluateDueCreditsStagedPeriods pins the plan hook in the deadline
+// ledger: a period the plan staged by its boundary is accounted as
+// evaluated at the boundary even when the clock tick collecting it runs
+// late, while unstaged (warmup) periods keep tick accounting.
+func TestEvaluateDueCreditsStagedPeriods(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: 2 * time.Second, Deadline: 100 * time.Millisecond}
+	if err := e.RegisterTemporalE(4, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan := fakePlan{
+		staged:      map[sim.Time]bool{4 * time.Second: true, 6 * time.Second: true},
+		warmupUntil: 4 * time.Second,
+	}
+	if !e.SetQueryPlan(4, plan) {
+		t.Fatal("SetQueryPlan rejected a temporal query")
+	}
+	// The plan's chains cover the whole area: every reading is prefetched,
+	// captured at the boundary (boundary credit requires actual coverage).
+	e.SetQuerySampler(4, func(id int32, pos geom.Point, at sim.Time) (sim.Time, bool, bool) {
+		return at, true, true
+	})
+	now := 6500 * time.Millisecond // all three periods collected in one step
+	var got []WindowResult
+	for {
+		res, ok := e.EvaluateDue(4, now)
+		if !ok {
+			break
+		}
+		got = append(got, res)
+	}
+	if len(got) != 3 {
+		t.Fatalf("evaluated %d periods, want 3", len(got))
+	}
+	// Period 1 (due 2s): unstaged warmup, evaluated at the tick, late.
+	if !got[0].Late || got[0].EvaluatedAt != now || !got[0].Warmup {
+		t.Errorf("warmup period = late %v / at %v / warmup %v, want late tick accounting", got[0].Late, got[0].EvaluatedAt, got[0].Warmup)
+	}
+	if got[0].Lateness != now-2*time.Second {
+		t.Errorf("warmup lateness = %v, want %v", got[0].Lateness, now-2*time.Second)
+	}
+	// Periods 2 and 3 (due 4s, 6s): staged at their boundaries, on time.
+	for i, res := range got[1:] {
+		if res.Late || res.Lateness != 0 || res.Warmup {
+			t.Errorf("staged period %d marked late (%v) or warmup (%v)", i+2, res.Lateness, res.Warmup)
+		}
+		if res.EvaluatedAt != res.Due {
+			t.Errorf("staged period %d evaluated at %v, want its boundary %v", i+2, res.EvaluatedAt, res.Due)
+		}
+	}
+	st, _ := e.Stats(4)
+	if st.Late != 1 {
+		t.Errorf("ledger late = %d, want 1", st.Late)
+	}
+}
+
+// TestStagedCreditRequiresCoverage pins the prediction-miss rule: a plan
+// that claims a period staged but whose chains served no reading to the
+// actual (non-empty) query area gets no boundary credit — the answer was
+// really assembled on demand at the tick, and the ledger says so.
+func TestStagedCreditRequiresCoverage(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: 2 * time.Second, Deadline: 100 * time.Millisecond}
+	if err := e.RegisterTemporalE(8, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Staged per the plan, but the per-query sampler never marks a reading
+	// prefetched — the chains went to a mispredicted area.
+	e.SetQueryPlan(8, fakePlan{staged: map[sim.Time]bool{2 * time.Second: true}})
+	e.SetQuerySampler(8, func(id int32, pos geom.Point, at sim.Time) (sim.Time, bool, bool) {
+		return at, true, false
+	})
+	now := 2500 * time.Millisecond
+	res, ok := e.EvaluateDue(8, now)
+	if !ok {
+		t.Fatal("EvaluateDue should fire")
+	}
+	if res.Prefetched != 0 || res.AreaNodes == 0 {
+		t.Fatalf("setup broken: prefetched %d over %d area nodes", res.Prefetched, res.AreaNodes)
+	}
+	if res.EvaluatedAt != now || !res.Late || res.Lateness != now-2*time.Second {
+		t.Errorf("uncovered staged period credited: at %v late %v (%v), want tick accounting", res.EvaluatedAt, res.Late, res.Lateness)
+	}
+	// Over an empty area the staged empty answer is the answer: credit.
+	if err := e.RegisterTemporalE(9, 50, geom.Pt(900, 900), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.SetQueryPlan(9, fakePlan{staged: map[sim.Time]bool{2 * time.Second: true}})
+	res, ok = e.EvaluateDue(9, now)
+	if !ok {
+		t.Fatal("EvaluateDue should fire")
+	}
+	if res.AreaNodes != 0 || res.Late || res.EvaluatedAt != 2*time.Second {
+		t.Errorf("empty-area staged period = %d nodes / late %v / at %v, want boundary credit", res.AreaNodes, res.Late, res.EvaluatedAt)
+	}
+}
+
 func TestEvaluateDueDefaultSamplerIsInstantaneous(t *testing.T) {
 	// Without a sampler the windowed path degenerates to the oracle:
 	// readings taken at the boundary itself, nothing stale.

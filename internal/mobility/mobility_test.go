@@ -74,6 +74,143 @@ func TestSlice(t *testing.T) {
 	}
 }
 
+// TestSliceEdges pins the boundary behavior the prefetch planner leans on:
+// slices clamped before the start, slices that end exactly on a waypoint,
+// slices entirely past the end (pure extrapolation), and degenerate
+// zero-length spatial segments.
+func TestSliceEdges(t *testing.T) {
+	tr := NewTrajectory([]Waypoint{
+		{T: sec(10), P: geom.Pt(0, 0)},
+		{T: sec(20), P: geom.Pt(10, 0)},
+	})
+	// Slicing from before the first waypoint clamps to the start position.
+	s := tr.Slice(sec(0), sec(15))
+	if got := s.PosAt(sec(5)); got.Dist(geom.Pt(0, 0)) > 1e-9 {
+		t.Errorf("pre-start slice should clamp: PosAt(5s) = %v", got)
+	}
+	// A slice ending exactly on a waypoint keeps strictly increasing times
+	// (the interior loop excludes t1 itself) and the interpolated endpoint.
+	s = tr.Slice(sec(12), sec(20))
+	if s.End() != sec(20) {
+		t.Errorf("slice end = %v", s.End())
+	}
+	wps := s.Waypoints()
+	for i := 1; i < len(wps); i++ {
+		if wps[i].T <= wps[i-1].T {
+			t.Fatalf("slice to a waypoint produced non-increasing times: %+v", wps)
+		}
+	}
+	// A slice entirely past the end extrapolates with the final velocity.
+	s = tr.Slice(sec(30), sec(40))
+	if got := s.PosAt(sec(40)); got.Dist(geom.Pt(30, 0)) > 1e-9 {
+		t.Errorf("past-end slice: PosAt(40s) = %v, want (30, 0)", got)
+	}
+	// Zero-length spatial segments (a pause) interpolate in place.
+	pause := NewTrajectory([]Waypoint{
+		{T: 0, P: geom.Pt(5, 5)},
+		{T: sec(10), P: geom.Pt(5, 5)},
+		{T: sec(20), P: geom.Pt(15, 5)},
+	})
+	if got := pause.VelAt(sec(5)); got.Len() != 0 {
+		t.Errorf("paused segment velocity = %v, want zero", got)
+	}
+	if got := pause.Slice(sec(2), sec(8)).PosAt(sec(5)); got.Dist(geom.Pt(5, 5)) > 1e-9 {
+		t.Errorf("slice inside a pause moved: %v", got)
+	}
+	// Slice rejects empty windows.
+	defer func() {
+		if recover() == nil {
+			t.Error("Slice(t, t) should panic")
+		}
+	}()
+	tr.Slice(sec(12), sec(12))
+}
+
+// TestProfileExpiryEdges pins expiry semantics: prediction keeps
+// extrapolating past Expiry (the claim ends, not the math), a zero-advance
+// profile has Ta = 0, and the planner-facing zero-Validity convention
+// leaves Expiry degenerate rather than panicking.
+func TestProfileExpiryEdges(t *testing.T) {
+	p := Profile{
+		Path:      LinearPath(geom.Pt(0, 0), geom.V(2, 0), 0, sec(10)),
+		TS:        0,
+		Validity:  10 * time.Second,
+		Generated: 0,
+	}
+	if p.AdvanceTime() != 0 {
+		t.Errorf("zero-advance profile Ta = %v", p.AdvanceTime())
+	}
+	if got := p.PredictAt(p.Expiry() + sec(5)); got.Dist(geom.Pt(30, 0)) > 1e-9 {
+		t.Errorf("prediction past expiry = %v, want straight-ahead (30, 0)", got)
+	}
+	unbounded := Profile{Path: Stationary(geom.Pt(1, 1), 0)}
+	if unbounded.Expiry() != unbounded.TS {
+		t.Errorf("zero-validity Expiry = %v, want TS", unbounded.Expiry())
+	}
+}
+
+// TestExactProfilerZeroLengthLeg pins the leg-boundary edge: a motion
+// change recorded at the course end makes a zero-length final leg, which
+// the profiler must skip without emitting an empty profile.
+func TestExactProfilerZeroLengthLeg(t *testing.T) {
+	tr := NewTrajectory([]Waypoint{
+		{T: 0, P: geom.Pt(0, 0)},
+		{T: sec(10), P: geom.Pt(10, 0)},
+	})
+	c := Course{Trajectory: tr, Changes: []sim.Time{sec(5), sec(10)}}
+	ps := ExactProfiler{Course: c, Ta: sec(2)}.Profiles()
+	if len(ps) != 2 { // legs [0,5) and [5,10); the zero-length [10,10) is dropped
+		t.Fatalf("profiles = %d, want 2 (zero-length leg skipped)", len(ps))
+	}
+	for _, tp := range ps {
+		if tp.Profile.Validity <= 0 {
+			t.Errorf("emitted a profile with non-positive validity: %+v", tp.Profile)
+		}
+	}
+}
+
+// TestGPSPredictorExpiryCoversCourse pins the predictor's validity
+// bookkeeping: every emitted profile expires strictly after its effective
+// time, and the last profile's path still covers the course end (the
+// predictor extends the nominal path one sampling period past it).
+func TestGPSPredictorExpiryCoversCourse(t *testing.T) {
+	c := NewRandomCourse(courseSpec(), rand.New(rand.NewSource(11)))
+	ps := GPSPredictor{Course: c, Sampling: 8 * time.Second, Err: 5, RNG: rand.New(rand.NewSource(2))}.Profiles()
+	if len(ps) == 0 {
+		t.Fatal("no profiles")
+	}
+	for i, tp := range ps {
+		if tp.Profile.Validity <= 0 {
+			t.Fatalf("profile %d validity %v", i, tp.Profile.Validity)
+		}
+		if tp.Profile.Expiry() <= tp.Profile.TS {
+			t.Fatalf("profile %d expires at %v, before its ts %v", i, tp.Profile.Expiry(), tp.Profile.TS)
+		}
+	}
+	last := ps[len(ps)-1].Profile
+	if last.Expiry() < c.End() {
+		t.Errorf("last profile expires at %v, before the course end %v", last.Expiry(), c.End())
+	}
+}
+
+// TestGPSPredictorLateCourseChange pins detection at the last leg boundary:
+// a motion change inside the final sampling window still yields a profile
+// whose ts never exceeds the course end.
+func TestGPSPredictorLateCourseChange(t *testing.T) {
+	spec := courseSpec()
+	spec.Duration = 84 * time.Second // not a multiple of the 8 s sampling
+	c := NewRandomCourse(spec, rand.New(rand.NewSource(12)))
+	ps := GPSPredictor{Course: c, Sampling: 8 * time.Second, Err: 0, RNG: rand.New(rand.NewSource(3))}.Profiles()
+	for i, tp := range ps {
+		if tp.Profile.TS > c.End() {
+			t.Errorf("profile %d effective at %v, past the course end %v", i, tp.Profile.TS, c.End())
+		}
+		if tp.Deliver != tp.Profile.Generated {
+			t.Errorf("profile %d delivered at %v but generated at %v", i, tp.Deliver, tp.Profile.Generated)
+		}
+	}
+}
+
 func TestNewTrajectoryValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

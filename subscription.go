@@ -8,7 +8,35 @@ import (
 
 	"mobiquery/internal/core"
 	"mobiquery/internal/geom"
+	"mobiquery/internal/mobility"
+	"mobiquery/internal/prefetch"
 )
+
+// Strategy selects how a subscription prefetches sensor data along the
+// user's predicted motion (QuerySpec.Strategy). The zero value is on-demand
+// sampling, exactly the behavior of a spec without a strategy.
+type Strategy = prefetch.Strategy
+
+// OnDemandStrategy samples the field as each period is collected — no
+// prediction, no prefetching. The zero Strategy.
+func OnDemandStrategy() Strategy { return Strategy{} }
+
+// JITStrategy prefetches just in time (the paper's contribution): each
+// period's readings are staged at the predicted pickup point by dispatching
+// its chain at the latest safe moment (equation 10), holding per-user
+// storage at the equation-12 constant.
+func JITStrategy() Strategy { return Strategy{Kind: prefetch.JIT} }
+
+// GreedyStrategy prefetches eagerly, keeping chains dispatched `lookahead`
+// periods ahead (equation 11 storage); readings are captured when the
+// freshness window opens and held until their boundary. lookahead 0 selects
+// the smallest window that still meets every equation-10 deadline —
+// a positive lookahead below that minimum can never stage a period on
+// time, leaving the subscription in permanent on-demand fallback with
+// Warmup set (see Strategy.Lookahead).
+func GreedyStrategy(lookahead int) Strategy {
+	return Strategy{Kind: prefetch.Greedy, Lookahead: lookahead}
+}
 
 // QuerySpec is the streaming form of the paper's spatiotemporal query
 // tuple: one aggregate over a circle around the mobile user, due every
@@ -34,11 +62,20 @@ type QuerySpec struct {
 	// Lifetime/Period results. Zero streams until Close or context
 	// cancellation.
 	Lifetime time.Duration
+	// Strategy selects predictive sampling along the user's motion
+	// (JITStrategy, GreedyStrategy). The zero value keeps on-demand
+	// sampling — exactly the pre-strategy behavior.
+	Strategy Strategy
 }
 
 // Validate reports specification errors, including the paper's feasibility
-// assumption Tfresh <= Tperiod.
+// assumption Tfresh <= Tperiod — relaxed for prefetching strategies, whose
+// equation-10 hold windows let a held reading legitimately outlive a
+// period.
 func (q QuerySpec) Validate() error {
+	if err := q.Strategy.Validate(); err != nil {
+		return err
+	}
 	switch {
 	case q.Radius <= 0:
 		return fmt.Errorf("mobiquery: query radius %v must be positive", q.Radius)
@@ -48,8 +85,8 @@ func (q QuerySpec) Validate() error {
 		return fmt.Errorf("mobiquery: deadline slack %v must be non-negative", q.Deadline)
 	case q.Freshness < 0:
 		return fmt.Errorf("mobiquery: freshness %v must be non-negative", q.Freshness)
-	case q.Freshness > q.Period:
-		return fmt.Errorf("mobiquery: freshness %v must not exceed period %v", q.Freshness, q.Period)
+	case q.Freshness > q.Period && !q.Strategy.Prefetching():
+		return fmt.Errorf("mobiquery: freshness %v must not exceed period %v for on-demand sampling (a prefetching Strategy may hold readings across periods)", q.Freshness, q.Period)
 	case q.Aggregate != 0 && !q.Aggregate.Valid():
 		return fmt.Errorf("mobiquery: invalid aggregation %v", q.Aggregate)
 	case q.Lifetime < 0:
@@ -92,6 +129,49 @@ func LinearMotion(start Point, vx, vy float64) MotionSource {
 	return linearSource{start: start, v: geom.V(vx, vy)}
 }
 
+// profileFromSource synthesizes the motion profile a prefetch planner works
+// from at Subscribe time: positions sampled one period apart anchor a
+// piecewise-linear predicted path, which extrapolates past its last sample
+// with the final leg's velocity (so linear sources are predicted exactly,
+// forever). The profile is generated the instant it takes effect (Ta = 0),
+// so equation 16 charges the full warmup interval — the cost of joining
+// with no advance notice.
+func profileFromSource(src MotionSource, t0, period time.Duration) mobility.Profile {
+	const legs = 8
+	wps := make([]mobility.Waypoint, 0, legs+1)
+	for i := 0; i <= legs; i++ {
+		rel := time.Duration(i) * period
+		wps = append(wps, mobility.Waypoint{T: t0 + rel, P: src.PositionAt(rel)})
+	}
+	return mobility.Profile{
+		Path:      mobility.NewTrajectory(wps),
+		TS:        t0,
+		Generated: t0,
+		Version:   1,
+		// Validity 0: the prediction covers every future boundary.
+	}
+}
+
+// waypointProfile builds the replacement profile after a ground-truth
+// waypoint update: a straight line from the reported position at the
+// velocity estimated from the previous update (or, lacking one, from the
+// original motion source's local direction).
+func waypointProfile(p Point, prev *Point, prevAt time.Duration, src MotionSource, t0, now, period time.Duration) mobility.Profile {
+	var vel geom.Vec
+	if prev != nil && now > prevAt {
+		vel = p.Sub(*prev).Scale(1 / (now - prevAt).Seconds())
+	} else {
+		rel := now - t0
+		vel = src.PositionAt(rel + period).Sub(src.PositionAt(rel)).Scale(1 / period.Seconds())
+	}
+	return mobility.Profile{
+		Path:      mobility.LinearPath(p, vel, now, now+period),
+		TS:        now,
+		Generated: now,
+		Version:   1,
+	}
+}
+
 // SubscriptionStats summarizes a subscription's temporal ledger.
 type SubscriptionStats struct {
 	// Delivered counts results handed to the Results channel; Dropped
@@ -119,13 +199,19 @@ type Subscription struct {
 	results chan QueryResult
 	done    chan struct{} // closed with the subscription; wakes watchers
 
+	// planner is the prefetch plan driving this subscription's predictive
+	// sampling; nil for on-demand specs. Installed once at Subscribe (the
+	// planner itself is concurrency-safe and re-planned in place).
+	planner *prefetch.Planner
+
 	// mu guards the mutable session state. It is per-subscription so one
 	// user's waypoint updates, stats reads, and deliveries never contend
 	// with another's, and none of them block the service registry lock.
-	mu     sync.Mutex
-	manual *Point // set by UpdateWaypoint; overrides src from then on
-	closed bool
-	stats  SubscriptionStats
+	mu       sync.Mutex
+	manual   *Point // set by UpdateWaypoint; overrides src from then on
+	manualAt time.Duration
+	closed   bool
+	stats    SubscriptionStats
 }
 
 // pendingResult is one evaluated period awaiting delivery (or, with
@@ -173,10 +259,31 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 		done:    make(chan struct{}),
 	}
 	sub.stats.NextPeriod = 1
+	var planner *prefetch.Planner
+	if spec.Strategy.Prefetching() {
+		var err error
+		planner, err = prefetch.NewPlanner(prefetch.Config{
+			Strategy: spec.Strategy,
+			Radius:   spec.Radius,
+			Period:   spec.Period,
+			Deadline: spec.Deadline,
+			Fresh:    spec.Freshness,
+			Sleep:    s.cfg.SamplePeriod,
+			T0:       s.now,
+		}, profileFromSource(src, s.now, spec.Period))
+		if err != nil {
+			return nil, err
+		}
+	}
 	err := s.engine.RegisterTemporalE(sub.id, spec.Radius, src.PositionAt(0),
 		core.TemporalSpec{Period: spec.Period, Deadline: spec.Deadline, Fresh: spec.Freshness}, s.now)
 	if err != nil {
 		return nil, err
+	}
+	if planner != nil {
+		sub.planner = planner
+		s.engine.SetQuerySampler(sub.id, planner.Sampler(s.sampler()))
+		s.engine.SetQueryPlan(sub.id, planner)
 	}
 	s.subs[sub.id] = sub
 
@@ -208,17 +315,35 @@ func (sub *Subscription) Spec() QuerySpec { return sub.spec }
 // UpdateWaypoint reports the user's actual position mid-run, overriding
 // the MotionSource from this moment on (the source is a prediction; the
 // waypoint is ground truth). Subsequent periods are evaluated at the
-// updated position until the next update.
+// updated position until the next update. A prefetching subscription
+// re-plans from the reported position: chains are re-dispatched along the
+// corrected path and the equation-16 warmup clock restarts, so the next
+// few results carry Warmup=true — the paper's cost of a motion change.
 func (sub *Subscription) UpdateWaypoint(p Point) error {
+	now := sub.svc.Now()
 	sub.mu.Lock()
 	if sub.closed {
 		sub.mu.Unlock()
 		return fmt.Errorf("mobiquery: subscription %d is closed", sub.id)
 	}
+	prev, prevAt := sub.manual, sub.manualAt
 	sub.manual = &p
+	sub.manualAt = now
 	sub.mu.Unlock()
 	sub.svc.engine.UpdateWaypoint(sub.id, p)
+	if sub.planner != nil {
+		sub.planner.Replan(waypointProfile(p, prev, prevAt, sub.src, sub.t0, now, sub.spec.Period), now)
+	}
 	return nil
+}
+
+// PrefetchStats returns the prefetch planner's ledger; ok is false for
+// on-demand subscriptions, which have no planner.
+func (sub *Subscription) PrefetchStats() (PrefetchStats, bool) {
+	if sub.planner == nil {
+		return PrefetchStats{}, false
+	}
+	return sub.planner.Stats(), true
 }
 
 // Stats returns the subscription's delivery ledger so far.
@@ -304,17 +429,19 @@ func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult) []pe
 // per-period result.
 func (sub *Subscription) makeResult(wr core.WindowResult) QueryResult {
 	qr := QueryResult{
-		K:            wr.K,
-		Deadline:     wr.Due,
-		Received:     true,
-		OnTime:       !wr.Late,
-		Value:        wr.Data.Value(sub.agg),
-		Contributors: wr.Data.Count,
-		AreaNodes:    wr.AreaNodes,
-		EvaluatedAt:  wr.EvaluatedAt,
-		Lateness:     wr.Lateness,
-		StaleNodes:   wr.StaleNodes,
-		MaxStaleness: wr.MaxStaleness,
+		K:               wr.K,
+		Deadline:        wr.Due,
+		Received:        true,
+		OnTime:          !wr.Late,
+		Value:           wr.Data.Value(sub.agg),
+		Contributors:    wr.Data.Count,
+		AreaNodes:       wr.AreaNodes,
+		EvaluatedAt:     wr.EvaluatedAt,
+		Lateness:        wr.Lateness,
+		StaleNodes:      wr.StaleNodes,
+		MaxStaleness:    wr.MaxStaleness,
+		Warmup:          wr.Warmup,
+		PrefetchedNodes: wr.Prefetched,
 	}
 	if wr.AreaNodes > 0 {
 		qr.Fidelity = float64(wr.Data.Count) / float64(wr.AreaNodes)
