@@ -33,11 +33,15 @@ bench-json:
 # any benchmark's ns/op regresses beyond that percentage (CI uses 200, wide
 # enough for single-iteration smoke noise but failing on order-of-magnitude
 # breaks of the scenario paths; sub-100µs benchmarks are exempt via the
-# tool's -floor, since one smoke iteration of those is pure noise). The
-# default 0 is informational only.
+# tool's -floor, since one smoke iteration of those is pure noise).
+# BENCH_ALLOC_THRESHOLD gates allocs/op the same way (CI uses 200;
+# benchmarks under 100 baseline allocs/op are exempt via -allocfloor —
+# tiny counts swing hugely in percent). The defaults of 0 are
+# informational only.
 BENCH_THRESHOLD ?= 0
+BENCH_ALLOC_THRESHOLD ?= 0
 bench-compare: bench-json
-	$(GO) run ./cmd/mobiquery-benchcmp -baseline BENCH_baseline.json -current BENCH_pr.json -threshold $(BENCH_THRESHOLD)
+	$(GO) run ./cmd/mobiquery-benchcmp -baseline BENCH_baseline.json -current BENCH_pr.json -threshold $(BENCH_THRESHOLD) -allocthreshold $(BENCH_ALLOC_THRESHOLD)
 
 fmt:
 	@out="$$(gofmt -l .)"; \

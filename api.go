@@ -270,6 +270,11 @@ type QueryResult struct {
 	// strategy.
 	Warmup          bool
 	PrefetchedNodes int
+	// CorridorHit marks a period whose node enumeration was served from
+	// the subscription's warm corridor stage rather than a cold index
+	// scan (identical values, cheaper evaluation). Always false without a
+	// QuerySpec.Corridor.
+	CorridorHit bool
 }
 
 // PrefetchStats is a prefetching subscription's planner ledger

@@ -239,29 +239,31 @@ func table(base, cur *run) {
 	fmt.Println("\n(single-iteration smoke numbers; * marks deltas beyond ±10%)")
 }
 
-// regressions lists the benchmarks present in both runs whose ns/op grew
-// beyond threshold percent, formatted for the failure report. A threshold
-// of zero (or below) disables the gate. Benchmarks whose baseline runs
-// faster than floor ns/op are exempt: a single smoke iteration of a
-// microsecond-scale benchmark is dominated by timer granularity and
-// cold-start effects (a one-off page fault reads as +1000%), so only the
-// benchmarks long enough to time reliably in one iteration are gated.
-func regressions(base, cur *run, threshold, floor float64) []string {
+// regressions lists the benchmarks present in both runs whose value for
+// `unit` grew beyond threshold percent, formatted for the failure report.
+// A threshold of zero (or below) disables the gate. Benchmarks whose
+// baseline value is below floor are exempt: for ns/op a single smoke
+// iteration of a microsecond-scale benchmark is dominated by timer
+// granularity and cold-start effects (a one-off page fault reads as
+// +1000%); for allocs/op a tiny baseline makes one incidental allocation
+// read as a huge percentage. Only benchmarks with enough signal in one
+// shot are gated.
+func regressions(base, cur *run, unit string, threshold, floor float64) []string {
 	if threshold <= 0 {
 		return nil
 	}
 	var out []string
 	for _, name := range cur.order {
-		bv, okB := base.results[name]["ns/op"]
-		cv, okC := cur.results[name]["ns/op"]
+		bv, okB := base.results[name][unit]
+		cv, okC := cur.results[name][unit]
 		if !okB || !okC || bv <= 0 {
-			continue // new benchmark, or no timing metric: nothing to gate on
+			continue // new benchmark, or no such metric: nothing to gate on
 		}
 		if bv < floor {
-			continue // too fast for a single iteration to mean anything
+			continue // too little baseline signal to mean anything
 		}
 		if d := 100 * (cv - bv) / bv; d > threshold {
-			out = append(out, fmt.Sprintf("%s: %.4g -> %.4g ns/op (%+.1f%% > %.0f%%)", name, bv, cv, d, threshold))
+			out = append(out, fmt.Sprintf("%s: %.4g -> %.4g %s (%+.1f%% > %.0f%%)", name, bv, cv, unit, d, threshold))
 		}
 	}
 	return out
@@ -272,6 +274,8 @@ func main() {
 	current := flag.String("current", "BENCH_pr.json", "freshly produced test2json stream")
 	threshold := flag.Float64("threshold", 0, "fail when any benchmark's ns/op regresses beyond this percentage against the baseline (0 = informational only)")
 	floor := flag.Float64("floor", 100_000, "exempt benchmarks whose baseline ns/op is below this from the threshold gate (single smoke iterations of fast benchmarks are noise)")
+	allocThreshold := flag.Float64("allocthreshold", 0, "fail when any benchmark's allocs/op regresses beyond this percentage against the baseline (0 = informational only)")
+	allocFloor := flag.Float64("allocfloor", 100, "exempt benchmarks whose baseline allocs/op is below this from the alloc gate (tiny counts swing hugely in percent)")
 	flag.Parse()
 
 	base, err := parse(*baseline)
@@ -291,8 +295,11 @@ func main() {
 	if !viaBenchstat(base, cur) {
 		table(base, cur)
 	}
-	if bad := regressions(base, cur, *threshold, *floor); len(bad) != 0 {
-		fmt.Fprintf(os.Stderr, "\nmobiquery-benchcmp: %d benchmark(s) regressed beyond the %.0f%% gate:\n", len(bad), *threshold)
+	bad := regressions(base, cur, "ns/op", *threshold, *floor)
+	bad = append(bad, regressions(base, cur, "allocs/op", *allocThreshold, *allocFloor)...)
+	if len(bad) != 0 {
+		fmt.Fprintf(os.Stderr, "\nmobiquery-benchcmp: %d benchmark metric(s) regressed beyond the gate (ns/op > %.0f%%, allocs/op > %.0f%%):\n",
+			len(bad), *threshold, *allocThreshold)
 		for _, line := range bad {
 			fmt.Fprintf(os.Stderr, "  %s\n", line)
 		}

@@ -74,19 +74,58 @@ func TestRegressionGate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := regressions(base, cur, 0, 0); got != nil {
+	if got := regressions(base, cur, "ns/op", 0, 0); got != nil {
 		t.Errorf("threshold 0 must be informational, got %v", got)
 	}
-	got := regressions(base, cur, 200, 0)
+	got := regressions(base, cur, "ns/op", 200, 0)
 	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkA") {
 		t.Errorf("200%% gate = %v, want exactly BenchmarkA", got)
 	}
-	if got := regressions(base, cur, 5, 0); len(got) != 2 {
+	if got := regressions(base, cur, "ns/op", 5, 0); len(got) != 2 {
 		t.Errorf("5%% gate = %v, want BenchmarkA and BenchmarkB", got)
 	}
 	// The noise floor exempts benchmarks too fast to time in one
 	// iteration: with a 500 ns floor only BenchmarkB (1000 ns) is gated.
-	if got := regressions(base, cur, 5, 500); len(got) != 1 || !strings.Contains(got[0], "BenchmarkB") {
+	if got := regressions(base, cur, "ns/op", 5, 500); len(got) != 1 || !strings.Contains(got[0], "BenchmarkB") {
 		t.Errorf("floored 5%% gate = %v, want exactly BenchmarkB", got)
+	}
+}
+
+// TestAllocRegressionGate pins the allocs/op gate: same threshold/floor
+// semantics as ns/op, on its own unit, with its own floor exempting tiny
+// baseline counts.
+func TestAllocRegressionGate(t *testing.T) {
+	base, err := parse(stream(t,
+		"BenchmarkA-8   100   100 ns/op   5000 allocs/op",
+		"BenchmarkB-8   100   100 ns/op   10 allocs/op",
+		"BenchmarkC-8   100   100 ns/op   200 allocs/op",
+		"BenchmarkNoAllocs-8   100   100 ns/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := parse(stream(t,
+		"BenchmarkA-8   100   100 ns/op   20000 allocs/op", // +300%
+		"BenchmarkB-8   100   100 ns/op   60 allocs/op",    // +500% but tiny baseline
+		"BenchmarkC-8   100   100 ns/op   210 allocs/op",   // +5%
+		"BenchmarkNoAllocs-8   100   100 ns/op",
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := regressions(base, cur, "allocs/op", 0, 100); got != nil {
+		t.Errorf("threshold 0 must be informational, got %v", got)
+	}
+	got := regressions(base, cur, "allocs/op", 200, 100)
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkA") || !strings.Contains(got[0], "allocs/op") {
+		t.Errorf("alloc 200%% gate with floor 100 = %v, want exactly BenchmarkA", got)
+	}
+	// Dropping the floor pulls the tiny-baseline benchmark in too.
+	if got := regressions(base, cur, "allocs/op", 200, 0); len(got) != 2 {
+		t.Errorf("alloc 200%% gate without floor = %v, want BenchmarkA and BenchmarkB", got)
+	}
+	// The ns/op gate is untouched by alloc movement.
+	if got := regressions(base, cur, "ns/op", 5, 0); got != nil {
+		t.Errorf("ns/op gate fired on alloc-only regressions: %v", got)
 	}
 }

@@ -28,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mobiquery-experiments", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, churn, prefetch, or all")
+		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, churn, prefetch, corridor, or all")
 		runs    = fs.Int("runs", 0, "topologies per data point (0 = paper's count)")
 		scale   = fs.Float64("scale", 1, "session length scale factor (1 = paper durations)")
 		seed    = fs.Int64("seed", 1, "base seed")
@@ -70,6 +70,10 @@ func run(args []string) error {
 		}
 	case "prefetch":
 		if err := printPrefetch(*seed, *users, *nodes, *shards, *workers); err != nil {
+			return err
+		}
+	case "corridor":
+		if err := printCorridor(*seed, *users, *nodes, *shards, *workers); err != nil {
 			return err
 		}
 	case "all":
@@ -217,5 +221,68 @@ func printPrefetch(seed int64, users, nodes, shards, workers int) error {
 	}
 	fmt.Printf("  digests invariant to Shards/Workers; prefetching cut late periods %d -> %d (jit) / %d (greedy) in %v\n",
 		res.OnDemand.Late, res.JIT.Late, res.Greedy.Late, res.Elapsed.Truncate(time.Millisecond))
+	return nil
+}
+
+// printCorridor runs the corridor-comparison scenario — exact vs noisy
+// motion profiles, with and without the spatial corridor cache — twice
+// (once with swapped engine sizing) to verify digest invariance, checks
+// that the warm path never changes results (corridor/exact matches
+// jit/exact bit for bit), and reports staged-hit and mispredict rates plus
+// the measured warm-vs-cold evaluation cost.
+func printCorridor(seed int64, users, nodes, shards, workers int) error {
+	cfg := experiment.DefaultCorridor()
+	cfg.Seed = seed
+	if users != 0 {
+		cfg.Users = users
+	}
+	if nodes != 0 {
+		cfg.Nodes = nodes
+	}
+	cfg.Shards = shards
+	cfg.Workers = workers
+
+	fmt.Printf("corridor scenario: %d turning users on a %d-node field (%v session, Tperiod=%v, duty cycle %v, GPS %v/%vm, lookahead %d)\n",
+		cfg.Users, cfg.Nodes, cfg.Duration, cfg.Period, cfg.SamplePeriod, cfg.GPSSampling, cfg.GPSError, cfg.Lookahead)
+
+	res, err := experiment.RunCorridor(cfg)
+	if err != nil {
+		return err
+	}
+	alt := cfg
+	alt.Shards, alt.Workers = 1, 1
+	ref, err := experiment.RunCorridor(alt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-20s %8s %6s %7s %9s %10s %8s %8s %8s %8s %9s %9s  %s\n",
+		"arm", "periods", "late", "warmup", "stale", "prefetched", "hits", "cold", "mispred", "replans", "warm-ns", "cold-ns", "digest")
+	for i, out := range res.Arms {
+		if out.Digest != ref.Arms[i].Digest {
+			return fmt.Errorf("%s digest moved across engine sizing (%#x vs %#x) — engine bug", out.Label, out.Digest, ref.Arms[i].Digest)
+		}
+		fmt.Printf("  %-20s %8d %6d %7d %9d %10d %8d %8d %8d %8d %9.0f %9.0f  %#x\n",
+			out.Label, out.Evaluations, out.Late, out.WarmupPeriods, out.StaleExclusions,
+			out.PrefetchedReadings, out.StagedHits, out.ColdEvaluations, out.Mispredicts,
+			out.Replans, out.WarmEvalNs, out.ColdEvalNs, out.Digest)
+	}
+	jitExact, _ := res.Arm("jit/exact")
+	jitNoisy, _ := res.Arm("jit/noisy")
+	corrExact, _ := res.Arm("jit+corridor/exact")
+	corrNoisy, _ := res.Arm("jit+corridor/noisy")
+	if corrExact.Digest != jitExact.Digest {
+		return fmt.Errorf("corridor changed exact-profile results (%#x vs %#x) — warm path not bit-identical", corrExact.Digest, jitExact.Digest)
+	}
+	if corrNoisy.StagedHits == 0 || corrExact.StagedHits == 0 {
+		return fmt.Errorf("corridor arms served no warm periods — staging bug")
+	}
+	if corrNoisy.ColdEvaluations >= jitNoisy.ColdEvaluations {
+		return fmt.Errorf("corridor did not reduce cold evaluations on the noisy workload (%d vs %d)",
+			corrNoisy.ColdEvaluations, jitNoisy.ColdEvaluations)
+	}
+	fmt.Printf("  digests invariant to Shards/Workers; corridor/exact == jit/exact (warm path bit-identical)\n")
+	fmt.Printf("  noisy workload: staged-hit rate %.0f%%, mispredict rate %.1f%%, cold evaluations %d -> %d, in %v\n",
+		100*corrNoisy.StagedHitRate(), 100*float64(corrNoisy.Mispredicts)/float64(corrNoisy.Evaluations),
+		jitNoisy.ColdEvaluations, corrNoisy.ColdEvaluations, res.Elapsed.Truncate(time.Millisecond))
 	return nil
 }

@@ -43,3 +43,12 @@ func TestRunPrefetchScenarioSmall(t *testing.T) {
 		t.Fatalf("run failed: %v", err)
 	}
 }
+
+func TestRunCorridorScenarioSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the corridor scenario")
+	}
+	if err := run([]string{"-fig", "corridor", "-users", "10", "-nodes", "2000"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}

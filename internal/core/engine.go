@@ -65,11 +65,14 @@ type liveQuery struct {
 	tmu      sync.Mutex
 	temporal *temporalState
 	// sampler overrides the engine-global Sampler for this query's windowed
-	// evaluations, and plan is the prefetch plan EvaluateDue consults; both
-	// are nil (pure on-demand behavior) unless a prefetch planner installed
-	// them via SetQuerySampler/SetQueryPlan. Guarded by tmu.
+	// evaluations, plan is the prefetch plan EvaluateDue consults, and
+	// warmer serves pre-staged corridor snapshots to evaluateWindow; all
+	// three are nil (pure on-demand, cold-scan behavior) unless a prefetch
+	// planner installed them via SetQuerySampler/SetQueryPlan/
+	// SetQueryWarmer. Guarded by tmu.
 	sampler AreaSampler
 	plan    PrefetchPlan
+	warmer  CorridorWarmer
 }
 
 type engineStripe struct {

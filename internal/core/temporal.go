@@ -39,6 +39,22 @@ type PrefetchPlan interface {
 	PeriodStatus(due sim.Time) (ready sim.Time, staged, warmup bool)
 }
 
+// CorridorWarmer is the spatial companion of PrefetchPlan: it holds
+// pre-staged node snapshots along the user's predicted corridor;
+// internal/corridor.Cache implements it. A nil warmer (the default) keeps
+// the cold grid scan exactly.
+type CorridorWarmer interface {
+	// VisitStaged streams the staged nodes of the boundary due at `due`
+	// that fall inside the actual query circle (center, radius), in
+	// ascending id order, and reports true — or reports false without
+	// calling fn when the boundary must be served by the cold radius scan
+	// (nothing staged, the snapshot outdated by node churn, or the actual
+	// position outside the staged corridor — a mispredict the warmer
+	// records). A true return must enumerate exactly the nodes the cold
+	// scan would: the engine serves the period from this buffer verbatim.
+	VisitStaged(due sim.Time, center geom.Point, radius float64, fn func(id int32, pos geom.Point)) bool
+}
+
 // TemporalSpec is the temporal contract of a streaming query: one result
 // per Period, due Deadline after each period boundary, computed from
 // readings no staler than Fresh at the boundary. It is the engine-level
@@ -82,10 +98,13 @@ type temporalState struct {
 	hasReading  bool
 	evaluated   int
 	late        int
-	// scratch is the window evaluation's hit buffer, reused across this
-	// query's periods. Guarded by the owning liveQuery's tmu like the rest
-	// of the state, so no pooling or clearing discipline is needed.
+	// scratch is the window evaluation's hit buffer and nodes the
+	// contributor-id buffer, both reused across this query's periods (a
+	// dense prefetch Advance used to reallocate Nodes per evaluation).
+	// Guarded by the owning liveQuery's tmu like the rest of the state, so
+	// no pooling or clearing discipline is needed.
 	scratch []areaHit
+	nodes   []radio.NodeID
 }
 
 // TemporalStats is a snapshot of one query's temporal accounting.
@@ -106,6 +125,10 @@ type TemporalStats struct {
 // WindowResult is one period's freshness-windowed evaluation. The embedded
 // AreaResult covers only the fresh contributors; stale in-area nodes are
 // counted but excluded from the aggregate.
+//
+// Nodes aliases a per-query scratch buffer: it is valid until the same
+// query's next EvaluateDue, which reuses the storage. Callers that keep
+// contributor ids across periods must copy them.
 type WindowResult struct {
 	AreaResult
 	// K is the 1-based period index; the result was due at Due and
@@ -129,6 +152,11 @@ type WindowResult struct {
 	// for queries without a plan.
 	Prefetched int
 	Warmup     bool
+	// CorridorHit reports the period's node enumeration was served from the
+	// query's corridor warmer (a warm, pre-staged buffer) rather than a
+	// cold grid radius scan. The result values are identical either way;
+	// only the evaluation cost differs. Always false without a warmer.
+	CorridorHit bool
 }
 
 // ScheduleSampler builds the standard periodic sampling schedule: node id
@@ -181,6 +209,23 @@ func (e *QueryEngine) SetQueryPlan(queryID uint32, p PrefetchPlan) bool {
 	}
 	q.tmu.Lock()
 	q.plan = p
+	q.tmu.Unlock()
+	return true
+}
+
+// SetQueryWarmer attaches a corridor warmer to a temporal query: windowed
+// evaluations then ask it for a pre-staged node snapshot before falling
+// back to the cold grid scan, and report warm serves in
+// WindowResult.CorridorHit. A nil warmer (the default) keeps the cold path
+// bit-identical. It reports whether the query exists and carries a
+// temporal contract.
+func (e *QueryEngine) SetQueryWarmer(queryID uint32, w CorridorWarmer) bool {
+	q := e.temporal(queryID)
+	if q == nil {
+		return false
+	}
+	q.tmu.Lock()
+	q.warmer = w
 	q.tmu.Unlock()
 	return true
 }
@@ -313,33 +358,79 @@ func (e *QueryEngine) Stats(queryID uint32) (TemporalStats, bool) {
 }
 
 // evaluateWindow computes the freshness-windowed area result of q as of
-// the period boundary `due`. Caller holds q.tmu.
+// the period boundary `due`. Caller holds q.tmu. A corridor warmer, when
+// attached, serves the boundary from its pre-staged snapshot whenever it
+// can prove the snapshot is exact (covered and current); otherwise — and
+// always without a warmer — the cold radius scan runs, bit-identical by
+// contract. The warm path lives in its own function so the cold path's
+// visit closure never escapes through the warmer interface: queries
+// without a corridor pay nothing for its existence.
 func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Time) WindowResult {
+	if q.warmer != nil {
+		if out, ok := e.evaluateWindowWarm(q, spec, due); ok {
+			return out
+		}
+	}
 	center := *q.pos.Load()
 	out := WindowResult{
 		AreaResult: AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: NewPartial()},
 	}
 	hits := q.temporal.scratch[:0]
 	e.grid.VisitWithin(center, q.radius, func(id int32, pos geom.Point) {
-		out.AreaNodes++
-		sample, ok, prefetched := due, true, false
-		switch {
-		case q.sampler != nil:
-			sample, ok, prefetched = q.sampler(id, pos, due)
-		case e.sampler != nil:
-			sample, ok = e.sampler(id, due)
-		}
-		if !ok || (spec.Fresh > 0 && due-sample > spec.Fresh) || sample > due {
-			out.StaleNodes++
-			return
-		}
-		hits = append(hits, areaHit{id: id, pos: pos, sample: sample, prefetched: prefetched})
+		e.addAreaHit(q, spec, due, &out, &hits, id, pos)
 	})
+	e.finishWindow(q, &out, hits, due)
+	return out
+}
+
+// evaluateWindowWarm asks the query's corridor warmer for the boundary's
+// staged snapshot; ok is false when the warmer declined (nothing staged,
+// stale snapshot, or a mispredict) and the caller must run the cold scan.
+// Caller holds q.tmu.
+func (e *QueryEngine) evaluateWindowWarm(q *liveQuery, spec TemporalSpec, due sim.Time) (WindowResult, bool) {
+	center := *q.pos.Load()
+	out := WindowResult{
+		AreaResult:  AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: NewPartial()},
+		CorridorHit: true,
+	}
+	hits := q.temporal.scratch[:0]
+	if !q.warmer.VisitStaged(due, center, q.radius, func(id int32, pos geom.Point) {
+		e.addAreaHit(q, spec, due, &out, &hits, id, pos)
+	}) {
+		return WindowResult{}, false
+	}
+	e.finishWindow(q, &out, hits, due)
+	return out, true
+}
+
+// addAreaHit is the shared per-node collection body of a windowed
+// evaluation: freshness-window the node's reading and record the hit.
+func (e *QueryEngine) addAreaHit(q *liveQuery, spec TemporalSpec, due sim.Time, out *WindowResult, hits *[]areaHit, id int32, pos geom.Point) {
+	out.AreaNodes++
+	sample, ok, prefetched := due, true, false
+	switch {
+	case q.sampler != nil:
+		sample, ok, prefetched = q.sampler(id, pos, due)
+	case e.sampler != nil:
+		sample, ok = e.sampler(id, due)
+	}
+	if !ok || (spec.Fresh > 0 && due-sample > spec.Fresh) || sample > due {
+		out.StaleNodes++
+		return
+	}
+	*hits = append(*hits, areaHit{id: id, pos: pos, sample: sample, prefetched: prefetched})
+}
+
+// finishWindow sorts the collected hits and folds them into the result,
+// reusing the query's scratch buffers. Caller holds q.tmu.
+func (e *QueryEngine) finishWindow(q *liveQuery, out *WindowResult, hits []areaHit, due sim.Time) {
 	// Sort by id so Nodes and float accumulation order are deterministic
 	// regardless of shard layout, exactly as the instantaneous path does.
 	slices.SortFunc(hits, hitsByID)
-	out.Nodes = make([]radio.NodeID, 0, len(hits))
 	t := q.temporal
+	// One Grow on the first period instead of append doubling; every later
+	// period of this query reuses the buffer allocation-free.
+	out.Nodes = slices.Grow(t.nodes[:0], len(hits))
 	for _, h := range hits {
 		out.Nodes = append(out.Nodes, radio.NodeID(h.id))
 		out.Data.AddReading(radio.NodeID(h.id), e.fld.Sample(h.pos, h.sample))
@@ -355,5 +446,5 @@ func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Ti
 		}
 	}
 	t.scratch = hits
-	return out
+	t.nodes = out.Nodes
 }

@@ -272,6 +272,115 @@ func TestPerQuerySamplerOverridesGlobal(t *testing.T) {
 	}
 }
 
+// fakeWarmer is a scripted CorridorWarmer: it serves the fixed node list
+// (filtered to the evaluated circle) for boundaries in staged, and refuses
+// everything else.
+type fakeWarmer struct {
+	staged map[sim.Time]bool
+	nodes  []struct {
+		id  int32
+		pos geom.Point
+	}
+	serves, refusals int
+}
+
+func (f *fakeWarmer) VisitStaged(due sim.Time, center geom.Point, radius float64, fn func(id int32, pos geom.Point)) bool {
+	if !f.staged[due] {
+		f.refusals++
+		return false
+	}
+	for _, n := range f.nodes {
+		if n.pos.Dist2(center) <= radius*radius {
+			fn(n.id, n.pos)
+		}
+	}
+	f.serves++
+	return true
+}
+
+// TestCorridorWarmerServesStagedBoundaries pins the warmer hook: a staged
+// boundary is enumerated from the warmer's buffer (CorridorHit true) with
+// results identical to the cold scan, an unstaged boundary falls back to
+// the cold scan, and a query without a warmer never sets CorridorHit.
+func TestCorridorWarmerServesStagedBoundaries(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: 2 * time.Second, Fresh: 10 * time.Second}
+	if err := e.RegisterTemporalE(1, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTemporalE(2, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The warmer's snapshot is exactly the grid's nodes — the contract a
+	// real corridor cache proves with coverage and version checks.
+	w := &fakeWarmer{staged: map[sim.Time]bool{2 * time.Second: true}}
+	for _, n := range []struct {
+		id int32
+		x  float64
+	}{{0, 10}, {1, 20}, {2, 30}} {
+		w.nodes = append(w.nodes, struct {
+			id  int32
+			pos geom.Point
+		}{n.id, geom.Pt(n.x, 0)})
+	}
+	if !e.SetQueryWarmer(1, w) {
+		t.Fatal("SetQueryWarmer rejected a temporal query")
+	}
+
+	warm, ok := e.EvaluateDue(1, 2*time.Second)
+	if !ok || !warm.CorridorHit {
+		t.Fatalf("staged boundary not served warm (ok %v, hit %v)", ok, warm.CorridorHit)
+	}
+	cold, ok := e.EvaluateDue(2, 2*time.Second)
+	if !ok || cold.CorridorHit {
+		t.Fatalf("warmer-less query reported a corridor hit (ok %v)", ok)
+	}
+	if warm.AreaNodes != cold.AreaNodes || warm.StaleNodes != cold.StaleNodes ||
+		len(warm.Nodes) != len(cold.Nodes) || warm.Data.Sum != cold.Data.Sum {
+		t.Errorf("warm result diverged from cold: %+v vs %+v", warm, cold)
+	}
+	if w.serves != 1 {
+		t.Errorf("warmer served %d boundaries, want 1", w.serves)
+	}
+
+	// Boundary 2 (due 4s) is not staged: cold fallback, no hit.
+	fallback, ok := e.EvaluateDue(1, 4*time.Second)
+	if !ok || fallback.CorridorHit {
+		t.Fatalf("unstaged boundary reported a corridor hit (ok %v)", ok)
+	}
+	if w.refusals != 1 {
+		t.Errorf("warmer refused %d boundaries, want 1", w.refusals)
+	}
+
+	// The hook is temporal-only, like the sampler and plan hooks.
+	e.Register(5, 100, geom.Pt(0, 0))
+	if e.SetQueryWarmer(5, w) || e.SetQueryWarmer(99, w) {
+		t.Error("SetQueryWarmer accepted a non-temporal or unknown query")
+	}
+}
+
+// TestWindowResultNodesReused pins the contributor-buffer contract: Nodes
+// aliases a per-query scratch reused by the next EvaluateDue of the same
+// query, so dense streaming allocates no fresh id slice per period.
+func TestWindowResultNodesReused(t *testing.T) {
+	e := temporalEngine(t)
+	spec := TemporalSpec{Period: time.Second, Fresh: 10 * time.Second}
+	if err := e.RegisterTemporalE(1, 100, geom.Pt(0, 0), spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := e.EvaluateDue(1, 2*time.Second)
+	if !ok || len(first.Nodes) == 0 {
+		t.Fatalf("first period: ok %v, %d nodes", ok, len(first.Nodes))
+	}
+	second, ok := e.EvaluateDue(1, 2*time.Second)
+	if !ok || len(second.Nodes) == 0 {
+		t.Fatalf("second period: ok %v, %d nodes", ok, len(second.Nodes))
+	}
+	if &first.Nodes[0] != &second.Nodes[0] {
+		t.Error("consecutive periods did not reuse the contributor buffer")
+	}
+}
+
 // TestEvaluateDueCreditsStagedPeriods pins the plan hook in the deadline
 // ledger: a period the plan staged by its boundary is accounted as
 // evaluated at the boundary even when the clock tick collecting it runs

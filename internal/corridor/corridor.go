@@ -1,0 +1,489 @@
+// Package corridor is the spatial half of predictive prefetching: it turns
+// a mobile user's (possibly noisy) motion profile into an error-inflated
+// spatial corridor — the geom.ShardedGrid cells the predicted query area
+// sweeps over the next few period boundaries, each with a validity interval
+// — and stages per-boundary node snapshots from those cells ahead of time,
+// so the engine's windowed evaluation serves staged periods from a warm,
+// contiguous, presorted buffer instead of a cold grid radius scan.
+//
+// The cache is honest about prediction error. Every staged snapshot records
+// the inflated circle it covers and the grid version it was cut at; at
+// serve time the user's *actual* query circle must fit inside the staged
+// circle and the grid must be unchanged, otherwise the evaluation falls
+// back to the cold scan — so a warm serve is bit-identical to the cold one
+// by construction. An actual position outside the corridor is a
+// *mispredict*: it is counted, surfaced through TakeMispredict so the
+// session layer can re-plan immediately from ground truth, and the period
+// keeps the honest on-demand accounting the prefetch planner's
+// whole-answer-staged credit rule demands.
+package corridor
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobiquery/internal/geom"
+	"mobiquery/internal/mobility"
+	"mobiquery/internal/sim"
+)
+
+// collectSlack widens every staged circle by a hair beyond the computed
+// inflation, so float rounding in the triangle inequality — coverage is
+// checked with one Dist while membership is checked with Dist2 — can never
+// exclude a node the cold scan would include.
+const collectSlack = 1e-6
+
+// ErrorModel bounds how far a predicted position may sit from the user's
+// true position: a fixed Base plus Growth per second of prediction age
+// (time since the governing profile was generated). The corridor inflates
+// each predicted query circle by the bound, so the true query area stays
+// inside the staged area as long as the model holds; a prediction that
+// escapes the bound is detected at serve time as a mispredict.
+type ErrorModel struct {
+	// Base is the fixed location-error bound in meters (e.g. the GPS error
+	// radius plus the predictor's re-profiling threshold).
+	Base float64
+	// Growth inflates the bound with prediction age, in meters per second.
+	Growth float64
+}
+
+// Validate reports model errors.
+func (m ErrorModel) Validate() error {
+	if m.Base < 0 || m.Growth < 0 {
+		return fmt.Errorf("corridor: error model must be non-negative, got %+v", m)
+	}
+	return nil
+}
+
+// Inflation returns the error bound for a prediction of the given age.
+func (m ErrorModel) Inflation(age time.Duration) float64 {
+	if age < 0 {
+		age = 0
+	}
+	return m.Base + m.Growth*age.Seconds()
+}
+
+// GPSErrorModel returns the ErrorModel covering a mobility.GPSPredictor's
+// worst-case prediction error against a user moving at up to maxSpeed m/s.
+// The predictor re-profiles whenever a reading diverges from the prediction
+// by more than threshold (zero selects the predictor's own default,
+// 20+err), and each reading errs by at most err, so at every sampling
+// instant the prediction is within threshold+err of the truth; between two
+// checks — one sampling period apart — the prediction and the truth
+// separate at most at the sum of their speeds, and the velocity estimated
+// from two noisy readings errs by up to 2*err/sampling. Summed:
+//
+//	bound = threshold + 3*err + 2*maxSpeed*sampling
+//
+// constant in prediction age, hence Growth 0. The bound is proven as a
+// property test in internal/mobility.
+func GPSErrorModel(err, threshold, maxSpeed float64, sampling time.Duration) ErrorModel {
+	if threshold <= 0 {
+		threshold = mobility.DefaultThreshold(err)
+	}
+	return ErrorModel{Base: threshold + 3*err + 2*maxSpeed*sampling.Seconds()}
+}
+
+// Config fixes the quantities a Cache needs: the subscription's spatial and
+// temporal shape plus the error model of its predictions.
+type Config struct {
+	// Lookahead is how many period boundaries ahead the corridor sweeps and
+	// stages; it must be at least 1 (a zero lookahead means "no corridor" —
+	// don't build a cache at all).
+	Lookahead int
+	// Model bounds the prediction error the corridor absorbs.
+	Model ErrorModel
+	// Radius is the query radius Rq.
+	Radius float64
+	// Period is the subscription period; boundary k is due at T0+k*Period.
+	Period time.Duration
+	// T0 is the subscription epoch.
+	T0 sim.Time
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Lookahead < 1:
+		return fmt.Errorf("corridor: lookahead %d must be at least 1", c.Lookahead)
+	case c.Radius <= 0:
+		return fmt.Errorf("corridor: radius %v must be positive", c.Radius)
+	case c.Period <= 0:
+		return fmt.Errorf("corridor: period %v must be positive", c.Period)
+	}
+	return nil
+}
+
+// StagedNode is one sensor in a staged snapshot.
+type StagedNode struct {
+	ID  int32
+	Pos geom.Point
+}
+
+// stage is one boundary's staged snapshot: the inflated circle it covers,
+// the grid version it was cut at, and the in-circle nodes in ascending id
+// order — the warm, contiguous buffer evaluation iterates.
+type stage struct {
+	k       int
+	due     sim.Time
+	center  geom.Point
+	radius  float64 // cfg.Radius + inflation (+ collectSlack)
+	builtAt sim.Time
+	version uint64
+	dirty   bool // a writer raced the snapshot; never serve it
+	cells   []cellKey
+	nodes   []StagedNode
+}
+
+type cellKey struct{ cx, cy int }
+
+// Cell is one grid cell of the swept corridor, with the interval over
+// which its staged contents serve boundaries: From is when the earliest
+// snapshot touching it was cut, Until the latest boundary it serves.
+type Cell struct {
+	CX, CY      int
+	From, Until sim.Time
+}
+
+// Stats is the cache's ledger. Hits and Misses partition evaluations the
+// engine asked the cache about: a hit was served warm from a staged
+// snapshot, a miss fell back to the cold scan (no snapshot for the
+// boundary, a snapshot invalidated by grid churn — counted again in
+// StaleStages — or a mispredict, counted again in Mispredicts).
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Mispredicts int64
+	StaleStages int64
+	// StagedBoundaries counts snapshots built over the cache's lifetime.
+	StagedBoundaries int64
+}
+
+// Cache is one subscription's corridor: it consumes the subscriber's
+// predicted motion profiles as they arrive, keeps the next Lookahead
+// boundaries staged, and serves the engine's evaluations through the
+// core.CorridorWarmer hook (VisitStaged). All methods are safe for
+// concurrent use; a SetProfile racing an evaluation leaves the evaluation
+// on whichever snapshot it resolved — whole and consistent either way.
+type Cache struct {
+	cfg  Config
+	grid *geom.ShardedGrid
+
+	mu          sync.Mutex
+	profile     mobility.Profile
+	haveProfile bool
+	stages      map[int]*stage
+	// free recycles retired stage buffers: a steady-state subscription
+	// builds one snapshot per period, and without reuse the node and cell
+	// slices of every dropped stage would be fresh garbage.
+	free []*stage
+	// pending mispredict: the most recent actual position observed outside
+	// the corridor, for the session layer to re-plan from.
+	mispredicted  bool
+	mispredictAt  sim.Time
+	mispredictPos geom.Point
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	mispredicts atomic.Int64
+	staleStages atomic.Int64
+	staged      atomic.Int64
+}
+
+// NewCache builds an empty corridor cache over the engine's node grid. It
+// stages nothing until a profile arrives via SetProfile.
+func NewCache(cfg Config, grid *geom.ShardedGrid) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if grid == nil {
+		return nil, fmt.Errorf("corridor: cache needs a grid")
+	}
+	return &Cache{cfg: cfg, grid: grid, stages: make(map[int]*stage)}, nil
+}
+
+// kFor inverts due = T0 + k*Period; ok is false when due is not one of the
+// subscription's boundaries.
+func (c *Cache) kFor(due sim.Time) (int, bool) {
+	d := due - c.cfg.T0
+	if d <= 0 || d%c.cfg.Period != 0 {
+		return 0, false
+	}
+	return int(d / c.cfg.Period), true
+}
+
+// nextK returns the index of the first boundary strictly after now.
+func (c *Cache) nextK(now sim.Time) int {
+	if now < c.cfg.T0 {
+		return 1
+	}
+	return int((now-c.cfg.T0)/c.cfg.Period) + 1
+}
+
+// SetProfile replaces the governing motion profile at virtual time now — a
+// fresher prediction arrived, or a mispredict forced a ground-truth
+// correction — and immediately re-sweeps the corridor: every staged
+// boundary is dropped and the next Lookahead boundaries are restaged under
+// the new prediction.
+func (c *Cache) SetProfile(p mobility.Profile, now sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.profile = p
+	c.haveProfile = true
+	for k, st := range c.stages {
+		c.retireLocked(st)
+		delete(c.stages, k)
+	}
+	c.stageWindowLocked(now)
+}
+
+// retireLocked returns a dropped stage's buffers to the freelist. Caller
+// holds mu and must also delete it from c.stages.
+func (c *Cache) retireLocked(st *stage) {
+	if len(c.free) < 8 {
+		c.free = append(c.free, st)
+	}
+}
+
+// blankLocked returns a zeroed stage with recycled buffers. Caller holds mu.
+func (c *Cache) blankLocked() *stage {
+	if n := len(c.free); n > 0 {
+		st := c.free[n-1]
+		c.free = c.free[:n-1]
+		*st = stage{cells: st.cells[:0], nodes: st.nodes[:0]}
+		return st
+	}
+	return &stage{}
+}
+
+// StageThrough tops the corridor up at virtual time now: boundaries the
+// user has passed are dropped and any unstaged boundary of the next
+// Lookahead window is swept and staged. Call it after each boundary
+// evaluation — staging for boundary k+1 then happens ahead of k+1's due
+// time, which is what makes the buffer warm rather than merely cached.
+func (c *Cache) StageThrough(now sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stageWindowLocked(now)
+}
+
+// stageWindowLocked drops consumed stages and stages the missing
+// boundaries of [nextK, nextK+Lookahead-1]. Caller holds mu.
+func (c *Cache) stageWindowLocked(now sim.Time) {
+	if !c.haveProfile {
+		return
+	}
+	next := c.nextK(now)
+	for k, st := range c.stages {
+		// Keep the boundary currently being collected (due may equal now);
+		// anything a full period behind is consumed.
+		if st.due+c.cfg.Period < now {
+			c.retireLocked(st)
+			delete(c.stages, k)
+		}
+	}
+	for k := next; k < next+c.cfg.Lookahead; k++ {
+		if _, ok := c.stages[k]; ok {
+			continue
+		}
+		if st := c.buildStage(k, now); st != nil {
+			c.stages[k] = st
+			c.staged.Add(1)
+		}
+	}
+}
+
+// buildStage sweeps and snapshots one boundary: the corridor cells of the
+// inflated predicted circle, their bucket contents filtered to the circle,
+// sorted by id. Returns nil when the profile does not cover the boundary.
+// Caller holds mu.
+func (c *Cache) buildStage(k int, now sim.Time) *stage {
+	due := c.cfg.T0 + sim.Time(k)*c.cfg.Period
+	if due < c.profile.TS {
+		return nil
+	}
+	if c.profile.Validity > 0 && due > c.profile.Expiry() {
+		return nil
+	}
+	center := c.profile.PredictAt(due)
+	r := c.cfg.Radius + c.cfg.Model.Inflation(due-c.profile.Generated) + collectSlack
+	st := c.blankLocked()
+	st.k, st.due, st.center, st.radius, st.builtAt = k, due, center, r, now
+	r2 := r * r
+	// Clean-bracket snapshot: SnapshotVersion must return ok with equal
+	// versions on both sides of the cell sweep — no mutation completed in
+	// between and none was in flight at either edge — so the staged
+	// buffer is one consistent grid state, the precondition for serving
+	// it as a bit-identical replacement of the cold scan.
+	for attempt := 0; attempt < 2; attempt++ {
+		v0, ok0 := c.grid.SnapshotVersion()
+		st.cells = st.cells[:0]
+		st.nodes = st.nodes[:0]
+		c.grid.VisitCellsInBox(center, r, func(cx, cy int) {
+			st.cells = append(st.cells, cellKey{cx, cy})
+			c.grid.VisitCell(cx, cy, func(id int32, pos geom.Point) {
+				if pos.Dist2(center) <= r2 {
+					st.nodes = append(st.nodes, StagedNode{ID: id, Pos: pos})
+				}
+			})
+		})
+		v1, ok1 := c.grid.SnapshotVersion()
+		if ok0 && ok1 && v0 == v1 {
+			st.version = v0
+			st.dirty = false
+			break
+		}
+		st.dirty = true // racing writers both attempts: stage unserveable
+	}
+	slices.SortFunc(st.nodes, func(a, b StagedNode) int {
+		if a.ID < b.ID {
+			return -1
+		}
+		if a.ID > b.ID {
+			return 1
+		}
+		return 0
+	})
+	return st
+}
+
+// VisitStaged implements the engine's CorridorWarmer hook: it streams the
+// staged nodes of the boundary due at `due` that fall inside the actual
+// query circle (center, radius) and reports true, or reports false without
+// calling fn when the evaluation must fall back to the cold scan — no
+// snapshot, a snapshot outdated by grid churn, or the actual circle
+// escaping the staged circle (a mispredict, recorded for TakeMispredict).
+// A warm serve enumerates exactly the nodes the cold scan would.
+func (c *Cache) VisitStaged(due sim.Time, center geom.Point, radius float64, fn func(id int32, pos geom.Point)) bool {
+	c.mu.Lock()
+	k, ok := c.kFor(due)
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	st := c.stages[k]
+	if st == nil {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	// The plain Version suffices here: the snapshot bracket already proved
+	// consistency, equality proves no mutation has completed since, and a
+	// mutation merely in flight cannot matter — the serve reads only the
+	// snapshot, which remains a recent consistent grid state (the same
+	// guarantee a cold scan racing that writer gets).
+	if st.dirty || c.grid.Version() != st.version {
+		c.retireLocked(st)
+		delete(c.stages, k)
+		c.mu.Unlock()
+		c.staleStages.Add(1)
+		c.misses.Add(1)
+		return false
+	}
+	// Coverage: every point within `radius` of the actual center must lie
+	// within the staged circle (triangle inequality; collectSlack absorbs
+	// the float error of the two distance computations).
+	if center.Dist(st.center)+radius > st.radius {
+		c.mispredicted = true
+		c.mispredictAt = due
+		c.mispredictPos = center
+		c.mu.Unlock()
+		c.mispredicts.Add(1)
+		c.misses.Add(1)
+		return false
+	}
+	r2 := radius * radius
+	for i := range st.nodes {
+		if st.nodes[i].Pos.Dist2(center) <= r2 {
+			fn(st.nodes[i].ID, st.nodes[i].Pos)
+		}
+	}
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// TakeMispredict returns and clears the most recent mispredict: the
+// boundary at which the user's actual position escaped the corridor, and
+// that position. The session layer re-plans from it (ground truth beats a
+// broken prediction) — the immediate-replan half of the mispredict
+// contract; the accounting half happened already, because the mispredicted
+// evaluation was served cold.
+func (c *Cache) TakeMispredict() (at sim.Time, actual geom.Point, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.mispredicted {
+		return 0, geom.Point{}, false
+	}
+	c.mispredicted = false
+	return c.mispredictAt, c.mispredictPos, true
+}
+
+// Corridor returns the swept corridor as of the staged window: every grid
+// cell touched by a staged boundary's inflated circle, with the validity
+// interval [earliest snapshot cut, latest boundary served] merged across
+// boundaries. Cells are ordered by (CY, CX). Introspection only — the
+// serve path never touches this.
+func (c *Cache) Corridor() []Cell {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	merged := make(map[cellKey]Cell)
+	for _, st := range c.stages {
+		for _, ck := range st.cells {
+			cell, ok := merged[ck]
+			if !ok {
+				cell = Cell{CX: ck.cx, CY: ck.cy, From: st.builtAt, Until: st.due}
+			} else {
+				if st.builtAt < cell.From {
+					cell.From = st.builtAt
+				}
+				if st.due > cell.Until {
+					cell.Until = st.due
+				}
+			}
+			merged[ck] = cell
+		}
+	}
+	out := make([]Cell, 0, len(merged))
+	for _, cell := range merged {
+		out = append(out, cell)
+	}
+	slices.SortFunc(out, func(a, b Cell) int {
+		if a.CY != b.CY {
+			return a.CY - b.CY
+		}
+		return a.CX - b.CX
+	})
+	return out
+}
+
+// StagedBoundaries returns the boundary indices currently staged, in
+// ascending order.
+func (c *Cache) StagedBoundaries() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, 0, len(c.stages))
+	for k := range c.stages {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Stats returns the cache's ledger snapshot.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Mispredicts:      c.mispredicts.Load(),
+		StaleStages:      c.staleStages.Load(),
+		StagedBoundaries: c.staged.Load(),
+	}
+}

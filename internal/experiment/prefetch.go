@@ -323,6 +323,9 @@ func runPrefetchPass(cfg PrefetchConfig, strat prefetch.Strategy, region geom.Re
 				u.evals++
 				u.stale += wr.StaleNodes
 				u.prefetched += wr.Prefetched
+				if u.planner != nil {
+					u.planner.NoteServed(wr.Prefetched)
+				}
 				u.stalenessSum += wr.MaxStaleness
 				if wr.Late {
 					u.late++

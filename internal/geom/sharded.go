@@ -29,6 +29,17 @@ type ShardedGrid struct {
 	shards       []gridShard
 
 	stripes []posStripe
+
+	// version counts bucket mutations (inserts, moves, removals) and
+	// writers the mutations currently in flight. A reader that snapshots
+	// cell buckets brackets the sweep with SnapshotVersion: equal clean
+	// reads prove the snapshot reflects one consistent grid state — the
+	// corridor cache stakes warm-path bit-identity on this. The version
+	// alone is not enough: a writer stalled between its two bumps would
+	// leave the counter steady over a half-applied move, which is what
+	// the writers gate exists to catch.
+	version atomic.Uint64
+	writers atomic.Int64
 }
 
 // shardEntry is one item in a cell bucket. Positions are stored inline so
@@ -109,6 +120,27 @@ func NewShardedGrid(region Rect, cellSize float64, shardCount int) *ShardedGrid 
 
 // Shards returns the number of spatial shards.
 func (g *ShardedGrid) Shards() int { return len(g.shards) }
+
+// Version returns the grid's mutation counter: it advances on every insert,
+// move, and removal, and is stable while no writer runs. Comparing two
+// Version reads detects completed mutations between them; use
+// SnapshotVersion when taking a multi-bucket snapshot, which additionally
+// rejects moments with a writer mid-mutation.
+func (g *ShardedGrid) Version() uint64 { return g.version.Load() }
+
+// SnapshotVersion returns the current version for bracketing a bucket
+// snapshot; ok is false while any writer is mid-mutation, when a sweep
+// could observe a half-applied move (an item absent from both its old and
+// new cell). A snapshot is consistent iff SnapshotVersion returned ok with
+// equal versions immediately before and after the sweep: a writer wholly
+// inside the bracket moves the version, and one overlapping either edge
+// trips the writers gate.
+func (g *ShardedGrid) SnapshotVersion() (version uint64, ok bool) {
+	if g.writers.Load() != 0 {
+		return 0, false
+	}
+	return g.version.Load(), true
+}
 
 // cellOf returns the clamped cell coordinates of p, mirroring Grid.index.
 func (g *ShardedGrid) cellOf(p Point) (cx, cy int) {
@@ -197,10 +229,17 @@ func (g *ShardedGrid) Insert(id int32, p Point) {
 	// the cell updates keeps racing writers to the same id from interleaving
 	// their remove/add pairs. Shard locks are only ever taken one at a time
 	// under a stripe lock, so the lock order is acyclic.
+	// Writers gate up, version bumped on both sides of the bucket writes:
+	// a snapshot reader (SnapshotVersion) rejects any moment a mutation is
+	// in flight and any bracket a completed mutation moved the version in.
+	g.writers.Add(1)
+	g.version.Add(1)
 	if existed {
 		g.removeFromCell(id, old)
 	}
 	g.addToCell(id, p)
+	g.version.Add(1)
+	g.writers.Add(-1)
 	st.mu.Unlock()
 }
 
@@ -217,7 +256,11 @@ func (g *ShardedGrid) Remove(id int32) {
 		return
 	}
 	delete(st.where, id)
+	g.writers.Add(1)
+	g.version.Add(1)
 	g.removeFromCell(id, p)
+	g.version.Add(1)
+	g.writers.Add(-1)
 	st.mu.Unlock()
 }
 
@@ -290,5 +333,66 @@ func (g *ShardedGrid) VisitWithin(p Point, r float64, fn func(id int32, pos Poin
 				}
 			}
 		}
+	}
+}
+
+// VisitCellsInBox calls fn for every cell a radius-r query around p scans —
+// the same clamped bounding box VisitWithin walks. It is the cell-sweep
+// primitive of the corridor cache: collecting exactly these cells for a
+// disk guarantees the collection is a superset of any VisitWithin over a
+// disk contained in it, including the clamped edge cells that hold items
+// lying outside the region.
+func (g *ShardedGrid) VisitCellsInBox(p Point, r float64, fn func(cx, cy int)) {
+	minCX := int((p.X - r - g.region.MinX) / g.cell)
+	maxCX := int((p.X + r - g.region.MinX) / g.cell)
+	minCY := int((p.Y - r - g.region.MinY) / g.cell)
+	maxCY := int((p.Y + r - g.region.MinY) / g.cell)
+	if minCX < 0 {
+		minCX = 0
+	}
+	if minCY < 0 {
+		minCY = 0
+	}
+	if maxCX >= g.cols {
+		maxCX = g.cols - 1
+	}
+	if maxCY >= g.rows {
+		maxCY = g.rows - 1
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			fn(cx, cy)
+		}
+	}
+}
+
+// VisitCell streams the items of one cell. Like VisitWithin it takes no
+// locks — the bucket is an immutable snapshot — so it runs concurrently
+// with writers; bracket a multi-cell sweep with Version reads to detect
+// racing mutations. Out-of-range cell coordinates are a no-op.
+func (g *ShardedGrid) VisitCell(cx, cy int, fn func(id int32, pos Point)) {
+	if cx < 0 || cx >= g.cols || cy < 0 || cy >= g.rows {
+		return
+	}
+	sh := g.shardFor(cy)
+	bucket := sh.slot(g.cols, cx, cy).Load()
+	if bucket == nil {
+		return
+	}
+	for _, e := range *bucket {
+		fn(e.id, e.p)
+	}
+}
+
+// CellRect returns the spatial extent of cell (cx, cy). Edge cells extend
+// past the region boundary: cellOf clamps out-of-region points into them,
+// so their effective extent is unbounded outward — CellRect reports the
+// nominal grid-aligned rectangle.
+func (g *ShardedGrid) CellRect(cx, cy int) Rect {
+	return Rect{
+		MinX: g.region.MinX + float64(cx)*g.cell,
+		MinY: g.region.MinY + float64(cy)*g.cell,
+		MaxX: g.region.MinX + float64(cx+1)*g.cell,
+		MaxY: g.region.MinY + float64(cy+1)*g.cell,
 	}
 }

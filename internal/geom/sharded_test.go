@@ -198,6 +198,104 @@ func TestShardedGridConcurrentChurn(t *testing.T) {
 	}
 }
 
+func TestShardedGridVersionAdvancesOnMutation(t *testing.T) {
+	g := NewShardedGrid(Square(100), 10, 4)
+	v0 := g.Version()
+	g.Insert(1, Pt(10, 10))
+	v1 := g.Version()
+	if v1 <= v0 {
+		t.Fatalf("insert did not advance the version (%d -> %d)", v0, v1)
+	}
+	g.Insert(1, Pt(10, 10)) // no-op move: position unchanged
+	if g.Version() != v1 {
+		t.Errorf("no-op insert advanced the version (%d -> %d)", v1, g.Version())
+	}
+	g.Move(1, Pt(90, 90))
+	v2 := g.Version()
+	if v2 <= v1 {
+		t.Errorf("move did not advance the version (%d -> %d)", v1, v2)
+	}
+	g.Remove(42) // absent id: no mutation
+	if g.Version() != v2 {
+		t.Errorf("no-op remove advanced the version (%d -> %d)", v2, g.Version())
+	}
+	g.Remove(1)
+	if g.Version() <= v2 {
+		t.Errorf("remove did not advance the version (%d -> %d)", v2, g.Version())
+	}
+	// Reads never mutate.
+	v3 := g.Version()
+	g.Within(nil, Pt(50, 50), 200)
+	g.VisitCellsInBox(Pt(50, 50), 200, func(int, int) {})
+	g.VisitCell(0, 0, func(int32, Point) {})
+	if g.Version() != v3 {
+		t.Error("read paths advanced the version")
+	}
+	// With no writer in flight, SnapshotVersion is ok and agrees with
+	// Version; two consecutive clean reads bracket an empty sweep.
+	sv0, ok0 := g.SnapshotVersion()
+	sv1, ok1 := g.SnapshotVersion()
+	if !ok0 || !ok1 || sv0 != v3 || sv0 != sv1 {
+		t.Errorf("SnapshotVersion = (%d,%v)/(%d,%v), want clean %d twice", sv0, ok0, sv1, ok1, v3)
+	}
+}
+
+// TestShardedGridCellSweepMatchesVisitWithin pins the corridor cache's core
+// assumption: collecting every cell of VisitCellsInBox and filtering by
+// distance yields exactly the VisitWithin result — for interior disks,
+// disks poking past the region, and clamped out-of-region items.
+func TestShardedGridCellSweepMatchesVisitWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	region := Square(450)
+	g := NewShardedGrid(region, 105, 8)
+	for i := 0; i < 300; i++ {
+		g.Insert(int32(i), region.UniformPoint(rng))
+	}
+	g.Insert(1000, Pt(-20, 225)) // clamped into an edge cell
+	g.Insert(1001, Pt(470, 470))
+	for trial := 0; trial < 100; trial++ {
+		center := Pt(rng.Float64()*550-50, rng.Float64()*550-50)
+		radius := rng.Float64() * 250
+		want := map[int32]Point{}
+		g.VisitWithin(center, radius, func(id int32, pos Point) { want[id] = pos })
+		got := map[int32]Point{}
+		r2 := radius * radius
+		g.VisitCellsInBox(center, radius, func(cx, cy int) {
+			g.VisitCell(cx, cy, func(id int32, pos Point) {
+				if pos.Dist2(center) <= r2 {
+					got[id] = pos
+				}
+			})
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: cell sweep found %d items, VisitWithin %d", trial, len(got), len(want))
+		}
+		for id, pos := range want {
+			if got[id] != pos {
+				t.Fatalf("trial %d: item %d at %v vs %v", trial, id, got[id], pos)
+			}
+		}
+	}
+}
+
+func TestShardedGridCellRect(t *testing.T) {
+	g := NewShardedGrid(Square(100), 10, 4)
+	g.Insert(7, Pt(34, 56))
+	var cells []Rect
+	g.VisitCellsInBox(Pt(34, 56), 0, func(cx, cy int) {
+		cells = append(cells, g.CellRect(cx, cy))
+	})
+	if len(cells) != 1 {
+		t.Fatalf("zero-radius box spans %d cells, want 1", len(cells))
+	}
+	if !cells[0].Contains(Pt(34, 56)) {
+		t.Errorf("CellRect %v does not contain the item's position", cells[0])
+	}
+	if w, h := cells[0].Width(), cells[0].Height(); w != 10 || h != 10 {
+		t.Errorf("cell extent = %vx%v, want 10x10", w, h)
+	}
+}
+
 func BenchmarkShardedGridWithin(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	region := Square(450)

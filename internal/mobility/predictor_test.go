@@ -1,0 +1,212 @@
+package mobility_test
+
+// Property tests of the GPS predictor's advertised error bounds — the
+// contract the corridor cache's GPSErrorModel inflation is built on. The
+// external test package lets the test close the loop against
+// internal/corridor without an import cycle.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mobiquery/internal/corridor"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/mobility"
+	"mobiquery/internal/sim"
+)
+
+// activeProfile returns the latest profile delivered at or before t, and
+// whether one exists.
+func activeProfile(profiles []mobility.TimedProfile, t sim.Time) (mobility.Profile, bool) {
+	var cur mobility.Profile
+	ok := false
+	for _, tp := range profiles {
+		if tp.Deliver > t {
+			break
+		}
+		cur, ok = tp.Profile, true
+	}
+	return cur, ok
+}
+
+// maxSegmentSpeed returns the largest leg speed of a course.
+func maxSegmentSpeed(c mobility.Course) float64 {
+	wps := c.Waypoints()
+	max := 0.0
+	for i := 1; i < len(wps); i++ {
+		v := wps[i].P.Sub(wps[i-1].P).Scale(1 / (wps[i].T - wps[i-1].T).Seconds()).Len()
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// pausingCourse is a hand-built course with a pause leg (the user stands
+// still between 10 s and 20 s) and a final leg the predictor must track
+// through extrapolation.
+func pausingCourse() mobility.Course {
+	tr := mobility.NewTrajectory([]mobility.Waypoint{
+		{T: 0, P: geom.Pt(100, 100)},
+		{T: 10 * time.Second, P: geom.Pt(140, 100)}, // 4 m/s east
+		{T: 20 * time.Second, P: geom.Pt(140, 100)}, // pause
+		{T: 35 * time.Second, P: geom.Pt(140, 160)}, // 4 m/s north
+	})
+	return mobility.Course{
+		Trajectory: tr,
+		Changes:    []sim.Time{10 * time.Second, 20 * time.Second},
+	}
+}
+
+// checkPredictorBounds asserts the two advertised properties over one
+// course:
+//
+//  1. At every GPS sampling instant with an active profile, the predicted
+//     position is within threshold+err of the truth (the re-profiling
+//     invariant: a larger divergence would have triggered a new profile,
+//     whose own error is at most the reading error).
+//  2. At every instant — between samples, across pause legs, through
+//     extrapolation past the profile's nominal path — the prediction stays
+//     within corridor.GPSErrorModel's inflation of the truth, so a
+//     corridor inflated by it always covers the true query area.
+func checkPredictorBounds(t *testing.T, course mobility.Course, sampling time.Duration, gpsErr float64, seed int64) {
+	t.Helper()
+	g := mobility.GPSPredictor{
+		Course:   course,
+		Sampling: sampling,
+		Err:      gpsErr,
+		RNG:      rand.New(rand.NewSource(seed)),
+	}
+	profiles := g.Profiles()
+	if len(profiles) == 0 {
+		t.Fatalf("seed %d: predictor produced no profiles", seed)
+	}
+	threshold := mobility.DefaultThreshold(gpsErr)
+	maxSpeed := maxSegmentSpeed(course)
+	model := corridor.GPSErrorModel(gpsErr, threshold, maxSpeed, sampling)
+	const eps = 1e-9
+
+	// Property 1: sampling-instant error within threshold+err.
+	for ti := sim.Time(0); ti <= course.End(); ti += sim.Time(sampling) {
+		prof, ok := activeProfile(profiles, ti)
+		if !ok {
+			continue
+		}
+		if d := prof.PredictAt(ti).Dist(course.PosAt(ti)); d > threshold+gpsErr+eps {
+			t.Fatalf("seed %d: sampling instant %v error %.3f m exceeds threshold+err %.3f",
+				seed, ti, d, threshold+gpsErr)
+		}
+	}
+
+	// Property 2: the corridor inflation covers the truth everywhere.
+	step := 100 * time.Millisecond
+	worst := 0.0
+	for ti := sim.Time(0); ti <= course.End(); ti += sim.Time(step) {
+		prof, ok := activeProfile(profiles, ti)
+		if !ok {
+			continue
+		}
+		d := prof.PredictAt(ti).Dist(course.PosAt(ti))
+		if d > worst {
+			worst = d
+		}
+		bound := model.Inflation(ti - prof.Generated)
+		if d > bound+eps {
+			t.Fatalf("seed %d: instant %v prediction error %.3f m escapes the corridor inflation %.3f (model %+v)",
+				seed, ti, d, bound, model)
+		}
+	}
+	if worst == 0 {
+		t.Fatalf("seed %d: zero worst-case error; the property is vacuous", seed)
+	}
+}
+
+// TestGPSPredictorErrorBoundsRandomCourses runs the property over many
+// random-direction courses with the paper's Section 6.3 settings.
+func TestGPSPredictorErrorBoundsRandomCourses(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		course := mobility.NewRandomCourse(mobility.CourseSpec{
+			Region:         geom.Square(450),
+			Start:          geom.Pt(200, 200),
+			SpeedMin:       1,
+			SpeedMax:       5,
+			ChangeInterval: 10 * time.Second,
+			Duration:       120 * time.Second,
+		}, rng)
+		checkPredictorBounds(t, course, 2*time.Second, 5, seed)
+	}
+}
+
+// TestGPSPredictorErrorBoundsPaperSettings uses the paper's 8 s sampling
+// and both published error radii.
+func TestGPSPredictorErrorBoundsPaperSettings(t *testing.T) {
+	for _, gpsErr := range []float64{5, 10} {
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(100 + seed))
+			course := mobility.NewRandomCourse(mobility.CourseSpec{
+				Region:         geom.Square(450),
+				Start:          geom.Pt(50, 50),
+				SpeedMin:       3,
+				SpeedMax:       5,
+				ChangeInterval: 42 * time.Second,
+				Duration:       200 * time.Second,
+			}, rng)
+			checkPredictorBounds(t, course, 8*time.Second, gpsErr, seed)
+		}
+	}
+}
+
+// TestGPSPredictorErrorBoundsPauseLeg runs the property over a course with
+// a pause leg: the predictor must converge onto the stationary stretch and
+// the bound must hold through both transitions.
+func TestGPSPredictorErrorBoundsPauseLeg(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		checkPredictorBounds(t, pausingCourse(), 2*time.Second, 5, seed)
+	}
+}
+
+// TestCorridorInflationCoversTrueArea closes the loop spatially: for a
+// query radius Rq, every point of the true query disk lies inside the
+// predicted disk inflated by the model — the exact precondition of a warm
+// corridor serve being bit-identical to the cold scan.
+func TestCorridorInflationCoversTrueArea(t *testing.T) {
+	const rq = 150.0
+	rng := rand.New(rand.NewSource(42))
+	course := mobility.NewRandomCourse(mobility.CourseSpec{
+		Region:         geom.Square(1000),
+		Start:          geom.Pt(400, 400),
+		SpeedMin:       2,
+		SpeedMax:       5,
+		ChangeInterval: 8 * time.Second,
+		Duration:       60 * time.Second,
+	}, rng)
+	g := mobility.GPSPredictor{
+		Course:   course,
+		Sampling: 2 * time.Second,
+		Err:      5,
+		RNG:      rand.New(rand.NewSource(43)),
+	}
+	profiles := g.Profiles()
+	model := corridor.GPSErrorModel(5, 0, maxSegmentSpeed(course), 2*time.Second)
+	covered := 0
+	for due := sim.Time(time.Second); due <= course.End(); due += sim.Time(time.Second) {
+		prof, ok := activeProfile(profiles, due)
+		if !ok {
+			continue
+		}
+		covered++
+		predicted := prof.PredictAt(due)
+		actual := course.PosAt(due)
+		inflated := rq + model.Inflation(due-prof.Generated)
+		// Disk containment: dist(centers) + Rq <= inflated radius.
+		if actual.Dist(predicted)+rq > inflated {
+			t.Fatalf("boundary %v: true disk escapes the inflated corridor (centers %.2f m apart, inflation %.2f)",
+				due, actual.Dist(predicted), inflated-rq)
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no boundaries covered; the property is vacuous")
+	}
+}

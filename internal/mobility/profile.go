@@ -128,6 +128,14 @@ type GPSPredictor struct {
 	RNG       *rand.Rand
 }
 
+// DefaultThreshold returns the re-profiling divergence threshold a
+// GPSPredictor with the given error radius uses when Threshold is zero:
+// re-profiling on pure measurement noise is wasted warmup, so the default
+// stays above the worst-case reading disagreement. Exported so error
+// models built on the predictor (corridor inflation, experiment bounds)
+// share one definition.
+func DefaultThreshold(err float64) float64 { return 20 + err }
+
 // Profiles implements Profiler.
 func (g GPSPredictor) Profiles() []TimedProfile {
 	if g.Sampling <= 0 {
@@ -138,9 +146,7 @@ func (g GPSPredictor) Profiles() []TimedProfile {
 	}
 	threshold := g.Threshold
 	if threshold <= 0 {
-		// Re-profiling on pure measurement noise is wasted warmup; stay
-		// above the worst-case reading disagreement.
-		threshold = 20 + g.Err
+		threshold = DefaultThreshold(g.Err)
 	}
 	var out []TimedProfile
 	var cur Profile

@@ -333,11 +333,15 @@ func (p *Planner) Warmup(due sim.Time) bool {
 // hold-time ledger), anything else falls through to the base schedule. The
 // third result reports whether the reading came from the plan. The returned
 // sampler has the shape of the engine's per-query AreaSampler.
+//
+// The sampler itself keeps no ledger — an atomic increment per in-area
+// reading was measurable on dense Advance batches. The driver folds each
+// evaluation's WindowResult.Prefetched into the served counter once per
+// period via NoteServed.
 func (p *Planner) Sampler(base func(id int32, at sim.Time) (sim.Time, bool)) func(id int32, pos geom.Point, at sim.Time) (sim.Time, bool, bool) {
 	return func(id int32, pos geom.Point, at sim.Time) (sim.Time, bool, bool) {
 		e, ok := p.EntryFor(at)
 		if ok && e.OnTime && at <= e.HoldUntil && pos.Within(e.Center, p.cfg.Radius) {
-			p.served.Add(1)
 			return e.CaptureAt, true, true
 		}
 		if base == nil {
@@ -345,6 +349,16 @@ func (p *Planner) Sampler(base func(id int32, at sim.Time) (sim.Time, bool)) fun
 		}
 		t, ok := base(id, at)
 		return t, ok, false
+	}
+}
+
+// NoteServed folds one evaluation's prefetched-contributor count into the
+// served ledger. Drivers call it once per period with the evaluation's
+// Prefetched count — replacing the per-reading atomic increment the
+// sampler used to pay on the evaluation hot path.
+func (p *Planner) NoteServed(n int) {
+	if n > 0 {
+		p.served.Add(int64(n))
 	}
 }
 
@@ -389,6 +403,19 @@ type Stats struct {
 	WarmupUntil sim.Time
 	// Epoch is when the governing profile was installed.
 	Epoch sim.Time
+
+	// The corridor counters describe the subscription's spatial corridor
+	// cache when one is attached; the session layer fills them from
+	// corridor.Cache.Stats (the planner itself never touches them, so they
+	// stay zero on a bare Planner). CorridorHits counts periods served
+	// from a warm staged buffer, CorridorMisses cold-scan fallbacks,
+	// CorridorMispredicts boundaries at which the user's actual position
+	// escaped the corridor (each of which forced an immediate re-plan),
+	// and CorridorStaged snapshots built over the subscription's lifetime.
+	CorridorHits        int64
+	CorridorMisses      int64
+	CorridorMispredicts int64
+	CorridorStaged      int64
 }
 
 // Stats returns the planner's ledger snapshot.

@@ -291,6 +291,14 @@ func TestSamplerServesPlannedAreaOnly(t *testing.T) {
 	if _, _, pf := s(1, geom.Pt(2, 0), 2*time.Second); pf {
 		t.Error("warmup period served a prefetched reading")
 	}
+	// The sampler itself keeps no ledger; the driver folds evaluation
+	// counts in once per period.
+	if st := p.Stats(); st.Served != 0 {
+		t.Errorf("sampler touched the served ledger: %d", st.Served)
+	}
+	p.NoteServed(1)
+	p.NoteServed(0)
+	p.NoteServed(-3) // defensive: never decrements
 	if st := p.Stats(); st.Served != 1 {
 		t.Errorf("served ledger = %d, want 1", st.Served)
 	}

@@ -3,10 +3,12 @@ package mobiquery
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"mobiquery/internal/core"
+	"mobiquery/internal/corridor"
 	"mobiquery/internal/geom"
 	"mobiquery/internal/mobility"
 	"mobiquery/internal/prefetch"
@@ -38,6 +40,42 @@ func GreedyStrategy(lookahead int) Strategy {
 	return Strategy{Kind: prefetch.Greedy, Lookahead: lookahead}
 }
 
+// ErrorModel bounds the location error of a subscription's predicted
+// positions: a fixed Base (meters) plus Growth (meters per second) of
+// prediction age. The corridor inflates every predicted query circle by
+// the bound; an actual position escaping it is a mispredict.
+type ErrorModel = corridor.ErrorModel
+
+// GPSErrorModel returns the ErrorModel covering a GPS predictor with the
+// given per-reading error radius, re-profiling threshold (0 selects the
+// predictor default), maximum user speed, and sampling period — the safe
+// corridor inflation for subscriptions driven by GPSPredictedMotion.
+func GPSErrorModel(err, threshold, maxSpeed float64, sampling time.Duration) ErrorModel {
+	return corridor.GPSErrorModel(err, threshold, maxSpeed, sampling)
+}
+
+// CorridorSpec configures spatial corridor prefetching (QuerySpec.Corridor):
+// the service sweeps the subscription's predicted query area over the next
+// Lookahead period boundaries into an error-inflated corridor of spatial-
+// index cells and stages per-boundary node snapshots ahead of each
+// boundary, so staged periods are evaluated from warm, contiguous buffers
+// instead of cold index scans. Results are bit-identical either way — a
+// snapshot is served only when it provably covers the user's actual query
+// circle on an unchanged node index; anything else (including a mispredict,
+// which also forces an immediate re-plan from ground truth) falls back to
+// the cold scan.
+type CorridorSpec struct {
+	// Lookahead is how many period boundaries ahead the corridor stages.
+	// Zero disables the corridor entirely — the exact pre-corridor
+	// behavior. Requires a prefetching Strategy when positive.
+	Lookahead int
+	// ErrorModel bounds the prediction error the corridor absorbs. The
+	// zero model trusts predictions exactly: any deviation of the actual
+	// position from the predicted one is a mispredict. Subscriptions fed
+	// by noisy predictors should use GPSErrorModel or a custom bound.
+	ErrorModel ErrorModel
+}
+
 // QuerySpec is the streaming form of the paper's spatiotemporal query
 // tuple: one aggregate over a circle around the mobile user, due every
 // Period, computed from sufficiently fresh readings.
@@ -66,6 +104,9 @@ type QuerySpec struct {
 	// (JITStrategy, GreedyStrategy). The zero value keeps on-demand
 	// sampling — exactly the pre-strategy behavior.
 	Strategy Strategy
+	// Corridor enables spatial corridor prefetching on top of the
+	// Strategy's temporal staging. The zero value disables it.
+	Corridor CorridorSpec
 }
 
 // Validate reports specification errors, including the paper's feasibility
@@ -93,6 +134,13 @@ func (q QuerySpec) Validate() error {
 		return fmt.Errorf("mobiquery: lifetime %v must be non-negative", q.Lifetime)
 	case q.Lifetime != 0 && q.Lifetime < q.Period:
 		return fmt.Errorf("mobiquery: lifetime %v shorter than one period %v", q.Lifetime, q.Period)
+	case q.Corridor.Lookahead < 0:
+		return fmt.Errorf("mobiquery: corridor lookahead %d must be non-negative", q.Corridor.Lookahead)
+	case q.Corridor.Lookahead > 0 && !q.Strategy.Prefetching():
+		return fmt.Errorf("mobiquery: corridor prefetching needs a prefetching Strategy (JITStrategy/GreedyStrategy)")
+	}
+	if err := q.Corridor.ErrorModel.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -127,6 +175,125 @@ func (l linearSource) PositionAt(t time.Duration) Point {
 // from start at (vx, vy) m/s.
 func LinearMotion(start Point, vx, vy float64) MotionSource {
 	return linearSource{start: start, v: geom.V(vx, vy)}
+}
+
+// ProfileSource is a MotionSource that also supplies its own stream of
+// predicted motion profiles — typically a history-based predictor whose
+// predictions carry location error, as opposed to the exact profiles the
+// service otherwise synthesizes from the source's positions. A prefetching
+// subscription backed by a ProfileSource plans (and, with a Corridor,
+// stages) from the predictions while its actual positions keep following
+// PositionAt — the paper's Section 6.3 location-error setting, live.
+//
+// The interface is sealed: construct implementations with
+// GPSPredictedMotion.
+type ProfileSource interface {
+	MotionSource
+	// predictedProfiles returns the profile stream in delivery order, all
+	// times relative to the subscription instant.
+	predictedProfiles() []mobility.TimedProfile
+}
+
+// CourseConfig describes a ground-truth random-direction course (the
+// paper's evaluation mobility): the user starts at Start, draws a fresh
+// heading and a speed in [SpeedMin, SpeedMax] every ChangeInterval, and
+// reflects off the RegionSide × RegionSide boundary for Duration.
+type CourseConfig struct {
+	Seed           int64
+	RegionSide     float64
+	Start          Point
+	SpeedMin       float64
+	SpeedMax       float64
+	ChangeInterval time.Duration
+	Duration       time.Duration
+}
+
+// GPSConfig describes the noisy history-based predictor laid over a
+// course: a GPS reading every Sampling with up to Error meters of uniform
+// disk error, re-profiling (a fresh straight-line prediction) whenever a
+// reading diverges from the active prediction by more than Threshold
+// (zero selects a default above the noise floor).
+type GPSConfig struct {
+	Seed      int64
+	Sampling  time.Duration
+	Error     float64
+	Threshold float64
+}
+
+// gpsMotion is the ProfileSource behind GPSPredictedMotion.
+type gpsMotion struct {
+	course   mobility.Course
+	profiles []mobility.TimedProfile
+}
+
+func (g *gpsMotion) PositionAt(t time.Duration) Point { return g.course.PosAt(t) }
+
+func (g *gpsMotion) predictedProfiles() []mobility.TimedProfile { return g.profiles }
+
+// GPSPredictedMotion returns a ProfileSource whose ground truth follows a
+// random-direction course while its predictions come from a noisy GPS
+// predictor — actual positions and predicted profiles deliberately
+// disagree, within gps.Error and the predictor's threshold. Pair it with a
+// prefetching Strategy and a Corridor whose ErrorModel covers the
+// predictor (see GPSErrorModel) to exercise spatial prefetching under
+// location error. The source is deterministic in its seeds.
+func GPSPredictedMotion(course CourseConfig, gps GPSConfig) (ProfileSource, error) {
+	spec := mobility.CourseSpec{
+		Region:         geom.Square(course.RegionSide),
+		Start:          course.Start,
+		SpeedMin:       course.SpeedMin,
+		SpeedMax:       course.SpeedMax,
+		ChangeInterval: course.ChangeInterval,
+		Duration:       course.Duration,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if gps.Sampling <= 0 {
+		return nil, fmt.Errorf("mobiquery: GPS sampling period %v must be positive", gps.Sampling)
+	}
+	if gps.Error < 0 {
+		return nil, fmt.Errorf("mobiquery: GPS error %v must be non-negative", gps.Error)
+	}
+	c := mobility.NewRandomCourse(spec, rand.New(rand.NewSource(course.Seed)))
+	predictor := mobility.GPSPredictor{
+		Course:    c,
+		Sampling:  gps.Sampling,
+		Err:       gps.Error,
+		Threshold: gps.Threshold,
+		RNG:       rand.New(rand.NewSource(gps.Seed)),
+	}
+	return &gpsMotion{course: c, profiles: predictor.Profiles()}, nil
+}
+
+// shiftProfile translates a profile's course-relative times onto the
+// service clock: a subscription opened at t0 sees the course's instant x
+// at virtual time t0+x.
+func shiftProfile(p mobility.Profile, t0 time.Duration) mobility.Profile {
+	if t0 == 0 {
+		return p
+	}
+	wps := p.Path.Waypoints()
+	for i := range wps {
+		wps[i].T += t0
+	}
+	p.Path = mobility.NewTrajectory(wps)
+	p.TS += t0
+	p.Generated += t0
+	return p
+}
+
+// bootstrapProfile is the prediction a profile-driven subscription plans
+// from before its predictor's first delivery: the user is assumed to hold
+// the position they subscribed at (the predictor needs a couple of
+// readings before it can do better).
+func bootstrapProfile(p Point, t0 time.Duration) mobility.Profile {
+	return mobility.Profile{
+		Path:      mobility.Stationary(p, t0),
+		TS:        t0,
+		Generated: t0,
+		Version:   0,
+	}
 }
 
 // profileFromSource synthesizes the motion profile a prefetch planner works
@@ -203,6 +370,22 @@ type Subscription struct {
 	// sampling; nil for on-demand specs. Installed once at Subscribe (the
 	// planner itself is concurrency-safe and re-planned in place).
 	planner *prefetch.Planner
+	// corridor is the spatial corridor cache staging node snapshots along
+	// the predicted path; nil unless the spec asked for one. Like the
+	// planner it is installed once and mutated in place.
+	corridor *corridor.Cache
+
+	// profiles is the predicted-profile stream of a ProfileSource-backed
+	// subscription (absolute service times), with nextProfile the first
+	// undelivered index; lastEvalPos/lastEvalAt remember the previous
+	// boundary's ground-truth position for mispredict re-plan velocity.
+	// All four are touched only from collectDue, which Advance serializes
+	// per subscription.
+	profiles    []mobility.TimedProfile
+	nextProfile int
+	lastEvalPos Point
+	lastEvalAt  time.Duration
+	haveEval    bool
 
 	// mu guards the mutable session state. It is per-subscription so one
 	// user's waypoint updates, stats reads, and deliveries never contend
@@ -260,7 +443,28 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 	}
 	sub.stats.NextPeriod = 1
 	var planner *prefetch.Planner
+	var cache *corridor.Cache
 	if spec.Strategy.Prefetching() {
+		// The initial prediction: for a ProfileSource, the predictor's own
+		// stream (times shifted onto the service clock), bootstrapped from
+		// a stationary guess until its first delivery; otherwise an exact
+		// profile synthesized from the motion source.
+		var prof mobility.Profile
+		if ps, ok := src.(ProfileSource); ok {
+			for _, tp := range ps.predictedProfiles() {
+				sub.profiles = append(sub.profiles, mobility.TimedProfile{
+					Deliver: tp.Deliver + s.now,
+					Profile: shiftProfile(tp.Profile, s.now),
+				})
+			}
+			prof = bootstrapProfile(src.PositionAt(0), s.now)
+			for sub.nextProfile < len(sub.profiles) && sub.profiles[sub.nextProfile].Deliver <= s.now {
+				prof = sub.profiles[sub.nextProfile].Profile
+				sub.nextProfile++
+			}
+		} else {
+			prof = profileFromSource(src, s.now, spec.Period)
+		}
 		var err error
 		planner, err = prefetch.NewPlanner(prefetch.Config{
 			Strategy: spec.Strategy,
@@ -270,9 +474,22 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 			Fresh:    spec.Freshness,
 			Sleep:    s.cfg.SamplePeriod,
 			T0:       s.now,
-		}, profileFromSource(src, s.now, spec.Period))
+		}, prof)
 		if err != nil {
 			return nil, err
+		}
+		if spec.Corridor.Lookahead > 0 {
+			cache, err = corridor.NewCache(corridor.Config{
+				Lookahead: spec.Corridor.Lookahead,
+				Model:     spec.Corridor.ErrorModel,
+				Radius:    spec.Radius,
+				Period:    spec.Period,
+				T0:        s.now,
+			}, s.engine.Index())
+			if err != nil {
+				return nil, err
+			}
+			cache.SetProfile(prof, s.now)
 		}
 	}
 	err := s.engine.RegisterTemporalE(sub.id, spec.Radius, src.PositionAt(0),
@@ -284,6 +501,10 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 		sub.planner = planner
 		s.engine.SetQuerySampler(sub.id, planner.Sampler(s.sampler()))
 		s.engine.SetQueryPlan(sub.id, planner)
+		if cache != nil {
+			sub.corridor = cache
+			s.engine.SetQueryWarmer(sub.id, cache)
+		}
 	}
 	s.subs[sub.id] = sub
 
@@ -332,18 +553,32 @@ func (sub *Subscription) UpdateWaypoint(p Point) error {
 	sub.mu.Unlock()
 	sub.svc.engine.UpdateWaypoint(sub.id, p)
 	if sub.planner != nil {
-		sub.planner.Replan(waypointProfile(p, prev, prevAt, sub.src, sub.t0, now, sub.spec.Period), now)
+		prof := waypointProfile(p, prev, prevAt, sub.src, sub.t0, now, sub.spec.Period)
+		sub.planner.Replan(prof, now)
+		if sub.corridor != nil {
+			sub.corridor.SetProfile(prof, now)
+		}
 	}
 	return nil
 }
 
-// PrefetchStats returns the prefetch planner's ledger; ok is false for
-// on-demand subscriptions, which have no planner.
+// PrefetchStats returns the prefetch planner's ledger, including the
+// corridor cache's hit/mispredict counters when the spec asked for a
+// corridor; ok is false for on-demand subscriptions, which have no
+// planner.
 func (sub *Subscription) PrefetchStats() (PrefetchStats, bool) {
 	if sub.planner == nil {
 		return PrefetchStats{}, false
 	}
-	return sub.planner.Stats(), true
+	st := sub.planner.Stats()
+	if sub.corridor != nil {
+		cs := sub.corridor.Stats()
+		st.CorridorHits = cs.Hits
+		st.CorridorMisses = cs.Misses
+		st.CorridorMispredicts = cs.Mispredicts
+		st.CorridorStaged = cs.StagedBoundaries
+	}
+	return st, true
 }
 
 // Stats returns the subscription's delivery ledger so far.
@@ -407,6 +642,10 @@ func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult) []pe
 		if due > now {
 			return buf
 		}
+		// Predicted profiles delivered by this boundary govern its plan
+		// and corridor: a fresher prediction re-plans (and re-sweeps)
+		// before the boundary is evaluated.
+		sub.pumpProfiles(due)
 		// The waypoint is evaluated as of the period boundary, so coarse
 		// clock steps still see the position the user held at the
 		// deadline.
@@ -421,7 +660,46 @@ func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult) []pe
 		if !ok {
 			return buf
 		}
+		if sub.planner != nil {
+			sub.planner.NoteServed(wr.Prefetched)
+		}
+		if sub.corridor != nil {
+			// An actual position outside the corridor already cost this
+			// period its warm serve and staging credit (the evaluation ran
+			// cold with honest accounting); re-plan immediately from the
+			// observed ground truth so the next boundaries re-stage along
+			// the corrected path.
+			if mpAt, mpPos, ok := sub.corridor.TakeMispredict(); ok {
+				var prevPos *Point
+				if sub.haveEval {
+					prevPos = &sub.lastEvalPos
+				}
+				prof := waypointProfile(mpPos, prevPos, sub.lastEvalAt, sub.src, sub.t0, mpAt, sub.spec.Period)
+				sub.planner.Replan(prof, mpAt)
+				sub.corridor.SetProfile(prof, mpAt)
+			}
+			// Top the staged window up relative to the boundary just
+			// collected, so boundary k+1's snapshot is cut ahead of its
+			// due time whatever the tick coarseness.
+			sub.corridor.StageThrough(wr.Due)
+		}
+		sub.lastEvalPos, sub.lastEvalAt, sub.haveEval = pos, wr.Due, true
 		buf = append(buf, pendingResult{sub: sub, due: wr.Due, result: sub.makeResult(wr)})
+	}
+}
+
+// pumpProfiles installs every predicted profile delivered by virtual time
+// upTo into the planner (and corridor, when present), in delivery order.
+// Only ProfileSource-backed subscriptions have a stream; others no-op.
+// Runs on the collectDue path, which Advance serializes per subscription.
+func (sub *Subscription) pumpProfiles(upTo time.Duration) {
+	for sub.nextProfile < len(sub.profiles) && sub.profiles[sub.nextProfile].Deliver <= upTo {
+		tp := sub.profiles[sub.nextProfile]
+		sub.nextProfile++
+		sub.planner.Replan(tp.Profile, tp.Deliver)
+		if sub.corridor != nil {
+			sub.corridor.SetProfile(tp.Profile, tp.Deliver)
+		}
 	}
 }
 
@@ -442,6 +720,7 @@ func (sub *Subscription) makeResult(wr core.WindowResult) QueryResult {
 		MaxStaleness:    wr.MaxStaleness,
 		Warmup:          wr.Warmup,
 		PrefetchedNodes: wr.Prefetched,
+		CorridorHit:     wr.CorridorHit,
 	}
 	if wr.AreaNodes > 0 {
 		qr.Fidelity = float64(wr.Data.Count) / float64(wr.AreaNodes)
