@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare fmt vet check
+.PHONY: all build test race bench bench-json bench-compare serve-smoke slo-compare fmt vet check
 
 all: build
 
@@ -11,7 +11,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -30,18 +30,38 @@ bench-json:
 # regressions on the hot paths (Advance, EvaluateDue, dispatch) are
 # visible per PR. Uses benchstat when installed, else the built-in table.
 # BENCH_THRESHOLD > 0 turns the comparison into a gate: exit non-zero when
-# any benchmark's ns/op regresses beyond that percentage (CI uses 200, wide
-# enough for single-iteration smoke noise but failing on order-of-magnitude
+# any benchmark's ns/op regresses beyond that percentage (200 is wide
+# enough for single-iteration smoke noise but fails on order-of-magnitude
 # breaks of the scenario paths; sub-100µs benchmarks are exempt via the
 # tool's -floor, since one smoke iteration of those is pure noise).
-# BENCH_ALLOC_THRESHOLD gates allocs/op the same way (CI uses 200;
-# benchmarks under 100 baseline allocs/op are exempt via -allocfloor —
-# tiny counts swing hugely in percent). The defaults of 0 are
-# informational only.
-BENCH_THRESHOLD ?= 0
-BENCH_ALLOC_THRESHOLD ?= 0
+# BENCH_ALLOC_THRESHOLD gates allocs/op the same way (benchmarks under 100
+# baseline allocs/op are exempt via -allocfloor — tiny counts swing hugely
+# in percent). The defaults match CI so `make check` means what CI means;
+# set either to 0 for an informational-only comparison.
+BENCH_THRESHOLD ?= 200
+BENCH_ALLOC_THRESHOLD ?= 200
 bench-compare: bench-json
 	$(GO) run ./cmd/mobiquery-benchcmp -baseline BENCH_baseline.json -current BENCH_pr.json -threshold $(BENCH_THRESHOLD) -allocthreshold $(BENCH_ALLOC_THRESHOLD)
+
+# Build the network front-end and drive it with a short seeded workload;
+# writes the SLO_pr.json artifact CI uploads and slo-compare gates. The
+# parameters mirror the CI smoke job: small field, sub-second periods, an
+# elasticity wave landing mid-run.
+serve-smoke:
+	$(GO) build -o bin/mobiquery-serve ./cmd/mobiquery-serve
+	$(GO) run ./cmd/mobiquery-loadgen -serve bin/mobiquery-serve -out SLO_pr.json \
+		-nodes 2000 -tick 20ms -workers 8 -warmup 1s -duration 6s \
+		-wave-workers 8 -wave-at 3s -period 200ms -deadline 100ms \
+		-fresh 200ms -lifetime 1s -jit-every 4 -course-every 5
+
+# Compare the fresh SLO_pr.json against the committed SLO_baseline.json.
+# SLO_THRESHOLD > 0 gates three p99s — steady subscribe latency, steady
+# delivery lateness, wave subscribe latency — failing beyond that
+# percentage over max(baseline, floor); the floors absorb shared-runner
+# scheduler noise on millisecond-scale baselines. The default matches CI.
+SLO_THRESHOLD ?= 200
+slo-compare: serve-smoke
+	$(GO) run ./cmd/mobiquery-slocmp -baseline SLO_baseline.json -current SLO_pr.json -threshold $(SLO_THRESHOLD)
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -52,4 +72,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: build fmt vet test race bench
+check: build fmt vet test race bench-compare slo-compare

@@ -1,0 +1,219 @@
+// Command mobiquery-loadgen drives a mobiquery-serve front-end with a
+// seeded closed- or open-loop subscriber workload and writes the SLO
+// report (subscribe-latency / delivery-lateness percentiles per phase,
+// drop counts, sustained subscriptions/sec) as machine-readable JSON —
+// the SLO_pr.json artifact CI trends and cmd/mobiquery-slocmp gates.
+//
+// Point it at a running server with -addr, or let it spawn one with
+// -serve (the path to a mobiquery-serve binary): the spawned server gets
+// a free port, field flags mirroring the workload (-nodes/-region/-seed),
+// and a SIGTERM when the run ends.
+//
+//	mobiquery-loadgen -addr http://127.0.0.1:9177 -workers 16 -duration 10s
+//	mobiquery-loadgen -serve bin/mobiquery-serve -out SLO_pr.json
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"mobiquery/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mobiquery-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mobiquery-loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "server base URL (http://host:port); empty with -serve spawns one")
+		serveBin = fs.String("serve", "", "path to a mobiquery-serve binary to spawn for the run")
+		out      = fs.String("out", "SLO_pr.json", "report output path ('-' for stdout only)")
+		workers  = fs.Int("workers", 8, "closed-loop workers (open loop: spawner count)")
+		openLoop = fs.Bool("open-loop", false, "open-loop arrivals instead of closed-loop workers")
+		rate     = fs.Float64("rate", 50, "open-loop arrival rate, subscriptions/sec")
+		warmup   = fs.Duration("warmup", time.Second, "warmup window excluded from steady percentiles")
+		duration = fs.Duration("duration", 5*time.Second, "measured window after warmup")
+		waveN    = fs.Int("wave-workers", 8, "elasticity wave size (0 disables the wave)")
+		waveAt   = fs.Duration("wave-at", 2*time.Second, "wave start, measured from the steady window opening")
+		seed     = fs.Int64("seed", 1, "workload seed (query fields and motion)")
+		period   = fs.Duration("period", 200*time.Millisecond, "query period")
+		deadline = fs.Duration("deadline", 100*time.Millisecond, "deadline slack")
+		fresh    = fs.Duration("fresh", 200*time.Millisecond, "freshness window")
+		lifetime = fs.Duration("lifetime", time.Second, "subscription lifetime (periods per subscribe)")
+		rMin     = fs.Float64("radius-min", 100, "minimum query radius, meters")
+		rMax     = fs.Float64("radius-max", 180, "maximum query radius, meters")
+		region   = fs.Float64("region", 450, "field side, meters (must match the server)")
+		jitN     = fs.Int("jit-every", 4, "every Nth subscription prefetches with JIT (0 = never)")
+		courseN  = fs.Int("course-every", 5, "every Nth subscription rides a GPS course (0 = never)")
+		nodes    = fs.Int("nodes", 2000, "spawned server: sensor node count")
+		tick     = fs.Duration("tick", 20*time.Millisecond, "spawned server: real-time clock tick")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*addr == "") == (*serveBin == "") {
+		return fmt.Errorf("exactly one of -addr and -serve must be set")
+	}
+
+	base := *addr
+	if *serveBin != "" {
+		stop, spawned, err := spawnServe(*serveBin, *nodes, *region, *seed, *tick)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		base = spawned
+	}
+
+	cfg := loadgen.Config{
+		Addr:        base,
+		Workers:     *workers,
+		OpenLoop:    *openLoop,
+		Rate:        *rate,
+		Warmup:      *warmup,
+		Duration:    *duration,
+		WaveWorkers: *waveN,
+		WaveAt:      *waveAt,
+		Seed:        *seed,
+		Period:      *period,
+		Deadline:    *deadline,
+		Freshness:   *fresh,
+		Lifetime:    *lifetime,
+		RadiusMin:   *rMin,
+		RadiusMax:   *rMax,
+		Region:      *region,
+		JITEvery:    *jitN,
+		CourseEvery: *courseN,
+	}
+	if err := loadgen.WaitReady(http.DefaultClient, base, 10*time.Second); err != nil {
+		return err
+	}
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	printSummary(rep)
+	if *out != "-" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if rep.Totals.Errors > 0 {
+		return fmt.Errorf("%d subscribe errors during the run", rep.Totals.Errors)
+	}
+	if rep.Phases[loadgen.PhaseSteady].Subscribes == 0 {
+		return fmt.Errorf("steady phase completed no subscriptions — run too short for lifetime %v", *lifetime)
+	}
+	return nil
+}
+
+// spawnServe launches a mobiquery-serve binary on a free port and parses
+// the bound address from its listening line.
+func spawnServe(bin string, nodes int, region float64, seed int64, tick time.Duration) (stop func(), base string, err error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-nodes", fmt.Sprint(nodes),
+		"-region", fmt.Sprint(region),
+		"-seed", fmt.Sprint(seed),
+		"-tick", tick.String(),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, "", err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	stop = func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	// The listening line is the spawn contract: "... listening on URL ...".
+	sc := bufio.NewScanner(stdout)
+	linec := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			select {
+			case linec <- line:
+			default:
+			}
+			fmt.Println(line) // keep the server log visible
+		}
+	}()
+	select {
+	case line := <-linec:
+		base = parseListeningLine(line)
+		if base == "" {
+			stop()
+			return nil, "", fmt.Errorf("cannot parse serve address from %q", line)
+		}
+		return stop, base, nil
+	case <-time.After(10 * time.Second):
+		stop()
+		return nil, "", fmt.Errorf("spawned server never printed its listening line")
+	}
+}
+
+// parseListeningLine extracts the base URL from the serve banner.
+func parseListeningLine(line string) string {
+	const marker = " listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(marker):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	if !strings.HasPrefix(rest, "http") {
+		return ""
+	}
+	return rest
+}
+
+// printSummary renders the human-facing SLO table.
+func printSummary(rep *loadgen.Report) {
+	fmt.Printf("%-8s %10s %8s %6s %8s %28s %28s\n",
+		"phase", "subscribes", "results", "late", "dropped", "subscribe p50/p95/p99 ms", "lateness p50/p95/p99 ms")
+	for _, name := range []string{loadgen.PhaseWarmup, loadgen.PhaseSteady, loadgen.PhaseWave} {
+		p := rep.Phases[name]
+		if p == nil || (p.Subscribes == 0 && p.Errors == 0) {
+			continue
+		}
+		fmt.Printf("%-8s %10d %8d %6d %8d %28s %28s\n",
+			name, p.Subscribes, p.Results, p.Late, p.Dropped,
+			fmtPcts(p.SubscribeLatencyMS), fmtPcts(p.DeliveryLatenessMS))
+	}
+	fmt.Printf("sustained: %.1f subscriptions/sec, %d results, %d errors\n",
+		rep.Totals.SubsPerSec, rep.Totals.Results, rep.Totals.Errors)
+}
+
+func fmtPcts(l loadgen.Latency) string {
+	if l.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f/%.1f/%.1f", l.P50, l.P95, l.P99)
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/json"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+
+	"mobiquery/internal/wire"
+)
+
+// startServe runs the binary's run() on a free port with a manual clock
+// and returns the base URL plus the exit-error channel.
+func startServe(t *testing.T, extra ...string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	errc := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-tick", "0", "-nodes", "150", "-drain-grace", "100ms"}, extra...)
+	go func() { errc <- run(args, ready) }()
+	select {
+	case base := <-ready:
+		return base, errc
+	case err := <-errc:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	return "", nil
+}
+
+func TestServeEndToEndWithGracefulDrain(t *testing.T) {
+	base, errc := startServe(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var h wire.Health
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if !h.OK {
+		t.Fatalf("health %+v", h)
+	}
+
+	// One short subscription, driven by the manual clock.
+	req := wire.SubscribeRequest{
+		Spec: wire.Spec{
+			RadiusM:    150,
+			PeriodNS:   int64(time.Second),
+			LifetimeNS: int64(2 * time.Second),
+		},
+		Motion: wire.Motion{Kind: "static", XM: 225, YM: 225},
+	}
+	body, _ := json.Marshal(req)
+	sresp, err := http.Post(base+"/v1/subscribe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer sresp.Body.Close()
+	dec := wire.NewDecoder(sresp.Body)
+	var ack wire.Frame
+	if err := dec.Decode(&ack); err != nil || ack.Type != wire.FrameAck {
+		t.Fatalf("ack: %+v err=%v", ack, err)
+	}
+	adv, _ := json.Marshal(wire.AdvanceRequest{DNS: int64(3 * time.Second)})
+	aresp, err := http.Post(base+"/v1/advance", "application/json", bytes.NewReader(adv))
+	if err != nil {
+		t.Fatalf("advance: %v", err)
+	}
+	aresp.Body.Close()
+	var sawResults, sawEnd int
+	for sawEnd == 0 {
+		var f wire.Frame
+		if err := dec.Decode(&f); err != nil {
+			t.Fatalf("stream: %v after %d results", err, sawResults)
+		}
+		switch f.Type {
+		case wire.FrameResult:
+			sawResults++
+		case wire.FrameEnd:
+			sawEnd++
+		}
+	}
+	if sawResults != 2 {
+		t.Errorf("saw %d results, want 2", sawResults)
+	}
+
+	// SIGTERM drains and exits cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit on SIGTERM")
+	}
+}
+
+func TestServeRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-nodes", "0"}, nil); err == nil {
+		t.Error("zero nodes should be an error")
+	}
+	if err := run([]string{"-buffer", "0"}, nil); err == nil {
+		t.Error("zero buffer should be an error")
+	}
+	if err := run([]string{"-not-a-flag"}, nil); err == nil {
+		t.Error("unknown flag should be an error")
+	}
+}
+
+func TestSelfSignedCertServesTLS(t *testing.T) {
+	cert, err := selfSignedCert()
+	if err != nil {
+		t.Fatalf("selfSignedCert: %v", err)
+	}
+	leaf, err := x509.ParseCertificate(cert.Certificate[0])
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := leaf.VerifyHostname("127.0.0.1"); err != nil {
+		t.Errorf("cert does not cover loopback: %v", err)
+	}
+
+	base, errc := startServe(t, "-tls-self")
+	hc := &http.Client{Transport: &http.Transport{
+		TLSClientConfig:   &tls.Config{InsecureSkipVerify: true},
+		ForceAttemptHTTP2: true,
+	}}
+	resp, err := hc.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz over TLS: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.ProtoMajor != 2 {
+		t.Errorf("served %s, want HTTP/2 over TLS", resp.Proto)
+	}
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	<-errc
+}

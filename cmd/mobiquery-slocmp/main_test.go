@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mobiquery/internal/loadgen"
+)
+
+// report builds a minimal SLO report with the given steady/wave p99s (ms).
+func report(t *testing.T, dir, name string, steadyLat, steadyLate, waveLat float64) string {
+	t.Helper()
+	mk := func(lat, late float64) *loadgen.Phase {
+		return &loadgen.Phase{
+			Subscribes:         10,
+			Results:            40,
+			SubscribeLatencyMS: loadgen.Latency{Count: 10, P50: lat / 2, P95: lat, P99: lat, Max: lat},
+			DeliveryLatenessMS: loadgen.Latency{Count: 40, P50: late / 2, P95: late, P99: late, Max: late},
+		}
+	}
+	rep := &loadgen.Report{
+		Schema: loadgen.Schema,
+		Phases: map[string]*loadgen.Phase{
+			loadgen.PhaseWarmup: mk(steadyLat, steadyLate),
+			loadgen.PhaseSteady: mk(steadyLat, steadyLate),
+		},
+		Totals: loadgen.Totals{Subscribes: 20, Results: 80, SubsPerSec: 4},
+	}
+	if waveLat >= 0 {
+		rep.Phases[loadgen.PhaseWave] = mk(waveLat, steadyLate)
+	}
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+func compare(t *testing.T, baseline, current string, extra ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	args := append([]string{"-baseline", baseline, "-current", current}, extra...)
+	err := run(args, &out)
+	return out.String(), err
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 100, 200, 120)
+	cur := report(t, dir, "cur.json", 150, 250, 200) // +50%/+25%/+67%, under 200%
+	out, err := compare(t, base, cur, "-threshold", "200")
+	if err != nil {
+		t.Fatalf("gate should pass: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "within 200%") {
+		t.Errorf("missing pass line:\n%s", out)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 100, 200, 120)
+	cur := report(t, dir, "cur.json", 400, 200, 120) // steady latency 100 -> 400 ms: +300%
+	out, err := compare(t, base, cur, "-threshold", "200")
+	if err == nil {
+		t.Fatalf("gate should fail:\n%s", out)
+	}
+	if !strings.Contains(out, "steady subscribe_latency_ms p99") {
+		t.Errorf("failure should name the metric:\n%s", out)
+	}
+	if strings.Contains(out, "delivery_lateness_ms p99:") {
+		t.Errorf("lateness did not regress, should not be listed:\n%s", out)
+	}
+}
+
+func TestFloorShieldsNoisySmallBaselines(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline p99s of 1 ms are CI noise; with floors of 50/100 ms the
+	// limits are 150/300 ms, so a 120 ms current run still passes.
+	base := report(t, dir, "base.json", 1, 1, 1)
+	cur := report(t, dir, "cur.json", 120, 250, 120)
+	if out, err := compare(t, base, cur, "-threshold", "200"); err != nil {
+		t.Fatalf("floor should shield tiny baselines: %v\n%s", err, out)
+	}
+	// Past the floored limit it still fails.
+	worse := report(t, dir, "worse.json", 200, 350, 200)
+	if out, err := compare(t, base, worse, "-threshold", "200"); err == nil {
+		t.Fatalf("beyond the floored limit the gate should fail:\n%s", out)
+	}
+}
+
+func TestImprovementAlwaysPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 400, 500, 400)
+	cur := report(t, dir, "cur.json", 100, 120, 100)
+	if out, err := compare(t, base, cur, "-threshold", "200"); err != nil {
+		t.Fatalf("improvements should pass: %v\n%s", err, out)
+	}
+}
+
+func TestMissingPhaseInCurrentFails(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 100, 200, 120)
+	cur := report(t, dir, "cur.json", 100, 200, -1) // no wave phase
+	out, err := compare(t, base, cur, "-threshold", "200")
+	if err == nil {
+		t.Fatalf("losing a gated phase should fail:\n%s", out)
+	}
+	if !strings.Contains(out, "lost this phase") {
+		t.Errorf("failure should explain the missing phase:\n%s", out)
+	}
+}
+
+func TestMissingPhaseInBaselineIsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 100, 200, -1) // baseline never ran a wave
+	cur := report(t, dir, "cur.json", 100, 200, 5000)
+	if out, err := compare(t, base, cur, "-threshold", "200"); err != nil {
+		t.Fatalf("a phase absent from the baseline has nothing to gate on: %v\n%s", err, out)
+	}
+}
+
+func TestZeroThresholdIsInformational(t *testing.T) {
+	dir := t.TempDir()
+	base := report(t, dir, "base.json", 1, 1, 1)
+	cur := report(t, dir, "cur.json", 9999, 9999, 9999)
+	out, err := compare(t, base, cur)
+	if err != nil {
+		t.Fatalf("threshold 0 must never fail: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "steady subscribe_latency_ms p99") {
+		t.Errorf("table should still print:\n%s", out)
+	}
+}
+
+func TestMissingFilesAreErrors(t *testing.T) {
+	dir := t.TempDir()
+	ok := report(t, dir, "ok.json", 1, 1, 1)
+	if _, err := compare(t, filepath.Join(dir, "absent.json"), ok); err == nil {
+		t.Error("missing baseline should be an error")
+	}
+	if _, err := compare(t, ok, filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing current should be an error")
+	}
+	if err := run([]string{"-not-a-flag"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown flag should be an error")
+	}
+}

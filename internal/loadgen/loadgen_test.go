@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mobiquery"
+	"mobiquery/internal/server"
+)
+
+// startServer stands a real-time served service up for loadgen to hit.
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	nc := mobiquery.DefaultNetworkConfig()
+	nc.Nodes = 300
+	nc.SamplePeriod = 20 * time.Millisecond
+	svc, err := mobiquery.Open(context.Background(), nc,
+		mobiquery.WithRealTime(10*time.Millisecond), mobiquery.WithResultBuffer(64))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ts := httptest.NewServer(server.New(svc, server.Options{}))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts
+}
+
+func smokeConfig(addr string) Config {
+	return Config{
+		Addr:        addr,
+		Workers:     3,
+		Warmup:      200 * time.Millisecond,
+		Duration:    time.Second,
+		WaveWorkers: 2,
+		WaveAt:      400 * time.Millisecond,
+		Seed:        1,
+		Period:      50 * time.Millisecond,
+		Deadline:    40 * time.Millisecond,
+		Freshness:   50 * time.Millisecond,
+		Lifetime:    200 * time.Millisecond,
+		RadiusMin:   100,
+		RadiusMax:   180,
+		Region:      450,
+		JITEvery:    2,
+		CourseEvery: 3,
+	}
+}
+
+func TestRunClosedLoopWithWave(t *testing.T) {
+	ts := startServer(t)
+	if err := WaitReady(ts.Client(), ts.URL, 5*time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	rep, err := Run(context.Background(), smokeConfig(ts.URL))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema %d, want %d", rep.Schema, Schema)
+	}
+	for _, name := range []string{PhaseWarmup, PhaseSteady, PhaseWave} {
+		if rep.Phases[name] == nil {
+			t.Fatalf("phase %q missing from the report", name)
+		}
+	}
+	steady := rep.Phases[PhaseSteady]
+	if steady.Subscribes == 0 || steady.Results == 0 {
+		t.Fatalf("steady phase saw no traffic: %+v", steady)
+	}
+	if rep.Phases[PhaseWave].Subscribes == 0 {
+		t.Errorf("wave phase saw no traffic: %+v", rep.Phases[PhaseWave])
+	}
+	if steady.Errors != 0 {
+		t.Errorf("steady phase errors: %+v", steady)
+	}
+	for name, p := range rep.Phases {
+		for _, l := range []Latency{p.SubscribeLatencyMS, p.DeliveryLatenessMS} {
+			if l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+				t.Errorf("phase %s: percentiles out of order: %+v", name, l)
+			}
+			if l.Count > 0 && l.Max < 0 {
+				t.Errorf("phase %s: negative latency: %+v", name, l)
+			}
+		}
+	}
+	var subs, results int
+	for _, p := range rep.Phases {
+		subs += p.Subscribes
+		results += p.Results
+	}
+	if rep.Totals.Subscribes != subs || rep.Totals.Results != results {
+		t.Errorf("totals %+v do not add up to phases (%d subs, %d results)", rep.Totals, subs, results)
+	}
+	if rep.Totals.SubsPerSec <= 0 {
+		t.Errorf("sustained rate %v, want positive", rep.Totals.SubsPerSec)
+	}
+
+	// The artifact round-trips through disk.
+	path := filepath.Join(t.TempDir(), "SLO_pr.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if got.Totals != rep.Totals {
+		t.Errorf("totals changed on disk: %+v vs %+v", got.Totals, rep.Totals)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	ts := startServer(t)
+	cfg := smokeConfig(ts.URL)
+	cfg.OpenLoop = true
+	cfg.Rate = 20
+	cfg.WaveWorkers = 0
+	cfg.Duration = 600 * time.Millisecond
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Totals.Subscribes == 0 || rep.Totals.Results == 0 {
+		t.Fatalf("open loop saw no traffic: %+v", rep.Totals)
+	}
+}
+
+func TestSeededRequestsAreDeterministic(t *testing.T) {
+	cfg := smokeConfig("http://unused")
+	for n := 0; n < 8; n++ {
+		a, b := request(cfg, n), request(cfg, n)
+		if a != b {
+			t.Errorf("request %d not deterministic:\n%+v\n%+v", n, a, b)
+		}
+	}
+	// JITEvery/CourseEvery select the strategies they promise.
+	if request(cfg, 2).Spec.Strategy != "jit" {
+		t.Error("subscription 2 should be JIT under JITEvery=2")
+	}
+	if request(cfg, 3).Motion.Kind != "course" {
+		t.Error("subscription 3 should ride a course under CourseEvery=3")
+	}
+	if r := request(cfg, 1); r.Spec.Strategy != "" || r.Motion.Kind != "linear" {
+		t.Errorf("subscription 1 should be plain linear on-demand: %+v", r)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := smokeConfig("http://x")
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Addr = "" },
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.OpenLoop = true; c.Rate = 0 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.WaveAt = c.Duration },
+		func(c *Config) { c.Period = 0 },
+		func(c *Config) { c.Lifetime = c.Period / 2 },
+		func(c *Config) { c.RadiusMin = 0 },
+		func(c *Config) { c.RadiusMax = c.RadiusMin - 1 },
+		func(c *Config) { c.Region = 0 },
+	}
+	for i, mut := range mutations {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should be rejected: %+v", i, c)
+		}
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rep := &Report{Schema: Schema + 1}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Error("wrong schema should be rejected")
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mobiquery"
+	"mobiquery/internal/wire"
+)
+
+// loopbackCase is one spec/motion pairing driven both in-process and over
+// the wire.
+type loopbackCase struct {
+	name   string
+	spec   wire.Spec
+	motion wire.Motion
+	steps  int
+	step   time.Duration
+	want   int // results expected
+}
+
+func loopbackCases() []loopbackCase {
+	onDemand := testSpec()
+	jitCorridor := testSpec()
+	jitCorridor.Strategy = "jit"
+	jitCorridor.CorridorLookahead = 4
+	jitCorridor.ErrBaseM = 20
+	jitCorridor.ErrGrowthMPS = 2
+	return []loopbackCase{
+		{
+			name:   "ondemand/linear",
+			spec:   onDemand,
+			motion: wire.Motion{Kind: "linear", XM: 150, YM: 150, VXMPS: 3, VYMPS: 1},
+			steps:  12, step: time.Second, want: 6,
+		},
+		{
+			name: "jit+corridor/gps-course",
+			spec: jitCorridor,
+			motion: wire.Motion{
+				Kind: "course", Seed: 11, XM: 200, YM: 200,
+				RegionSideM: 450, SpeedMinMPS: 1, SpeedMaxMPS: 3,
+				ChangeIntervalNS: int64(10 * time.Second), DurationNS: int64(time.Minute),
+				GPSSeed: 12, GPSSamplingNS: int64(time.Second), GPSErrM: 5,
+			},
+			steps: 12, step: time.Second, want: 6,
+		},
+	}
+}
+
+// inProcess runs the case directly against the session API.
+func inProcess(t *testing.T, sc mobiquery.ServiceConfig, c loopbackCase) []wire.Result {
+	t.Helper()
+	svc, err := mobiquery.Open(context.Background(), testConfig(sc), mobiquery.WithResultBuffer(64))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer svc.Close()
+	spec, err := c.spec.QuerySpec()
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	src, err := c.motion.Source()
+	if err != nil {
+		t.Fatalf("motion: %v", err)
+	}
+	sub, err := svc.Subscribe(context.Background(), spec, src)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	for i := 0; i < c.steps; i++ {
+		if err := svc.Advance(c.step); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+	}
+	sub.Close()
+	var out []wire.Result
+	for r := range sub.Results() {
+		out = append(out, wire.FromResult(r))
+	}
+	return out
+}
+
+// overWire runs the same case through the HTTP front-end under a manual
+// clock driven by the advance endpoint.
+func overWire(t *testing.T, sc mobiquery.ServiceConfig, c loopbackCase) []wire.Result {
+	t.Helper()
+	h := newHarness(t, sc)
+	_, dec, done := h.subscribe(t, context.Background(), wire.SubscribeRequest{Spec: c.spec, Motion: c.motion})
+	defer done()
+	for i := 0; i < c.steps; i++ {
+		h.advance(t, c.step)
+	}
+	var out []wire.Result
+	for len(out) < c.want {
+		var f wire.Frame
+		if err := dec.Decode(&f); err != nil {
+			t.Fatalf("stream: %v (after %d results)", err, len(out))
+		}
+		if f.Type != wire.FrameResult {
+			t.Fatalf("unexpected frame %+v", f)
+		}
+		out = append(out, *f.Result)
+	}
+	return out
+}
+
+// TestLoopbackByteIdentical pins the front-end's fidelity contract: the
+// results a client receives over the network are byte-identical (as wire
+// frames) to what the same seed and call sequence yields in-process, and
+// both are invariant to the engine's Shards/Workers sizing.
+func TestLoopbackByteIdentical(t *testing.T) {
+	configs := []mobiquery.ServiceConfig{
+		{Shards: 1, Workers: 1},
+		{Shards: 8, Workers: 4},
+		{}, // auto sizing
+	}
+	for _, c := range loopbackCases() {
+		t.Run(c.name, func(t *testing.T) {
+			ref := inProcess(t, configs[0], c)
+			if len(ref) != c.want {
+				t.Fatalf("in-process run yielded %d results, want %d", len(ref), c.want)
+			}
+			refBytes := encodeAll(t, ref)
+			for _, sc := range configs {
+				if got := encodeAll(t, inProcess(t, sc, c)); got != refBytes {
+					t.Errorf("in-process results vary with ServiceConfig %+v:\n got %s\nwant %s", sc, got, refBytes)
+				}
+				if got := encodeAll(t, overWire(t, sc, c)); got != refBytes {
+					t.Errorf("networked results differ from in-process under %+v:\n got %s\nwant %s", sc, got, refBytes)
+				}
+			}
+		})
+	}
+}
+
+// encodeAll renders a result sequence as one JSON byte string for exact
+// comparison.
+func encodeAll(t *testing.T, rs []wire.Result) string {
+	t.Helper()
+	b, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}

@@ -1,0 +1,236 @@
+// Package server is the network front-end over the mobiquery session
+// API: an http.Handler exposing Open/Subscribe as streaming HTTP
+// endpoints speaking the internal/wire NDJSON protocol. Over TLS,
+// net/http negotiates HTTP/2 and the subscribe stream rides one h2
+// server-streamed response; over plain TCP the same bytes flow as
+// HTTP/1.1 chunked transfer — the protocol is identical either way.
+//
+// Endpoints:
+//
+//	GET  /healthz                        liveness + virtual clock
+//	GET  /v1/stats                       service-wide delivery ledger
+//	POST /v1/subscribe                   body: one wire.SubscribeRequest;
+//	                                     response: ack, result*, end frames
+//	POST /v1/subscriptions/{id}/waypoints  body: wire.Waypoint per line,
+//	                                     applied as each arrives (client
+//	                                     streaming); reply: applied count
+//	GET  /v1/subscriptions/{id}/stats    per-subscription + prefetch ledger
+//	POST /v1/advance                     manual-clock servers only: move
+//	                                     the virtual clock (tests, smoke)
+//
+// A subscribe stream ends when the subscription does (Lifetime, service
+// drain/close) — the end frame carries the final delivery ledger — or
+// when the client disconnects, which tears the subscription down
+// immediately: no goroutine or engine query outlives its stream.
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mobiquery"
+	"mobiquery/internal/wire"
+)
+
+// Options configures the handler.
+type Options struct {
+	// AllowAdvance enables POST /v1/advance, which drives the service's
+	// virtual clock from the network. Only meaningful for a service
+	// opened without WithRealTime (tests and deterministic smoke runs);
+	// a real-time service should leave it off.
+	AllowAdvance bool
+}
+
+// Server is the front-end handler. Create with New.
+type Server struct {
+	svc  *mobiquery.Service
+	opts Options
+	mux  *http.ServeMux
+
+	// mu guards the id -> subscription registry of streams this server
+	// opened, so the waypoint and stats endpoints can address them. An
+	// entry lives exactly as long as its subscribe handler.
+	mu   sync.Mutex
+	subs map[uint32]*mobiquery.Subscription
+}
+
+// New returns a Server handling the wire protocol over svc.
+func New(svc *mobiquery.Service, opts Options) *Server {
+	s := &Server{
+		svc:  svc,
+		opts: opts,
+		mux:  http.NewServeMux(),
+		subs: make(map[uint32]*mobiquery.Subscription),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("POST /v1/subscriptions/{id}/waypoints", s.handleWaypoints)
+	s.mux.HandleFunc("GET /v1/subscriptions/{id}/stats", s.handleSubStats)
+	if opts.AllowAdvance {
+		s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Streams reports the number of subscribe streams currently open on this
+// server (distinct from the service's Subscribers, which may include
+// in-process subscriptions).
+func (s *Server) Streams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Stats()
+	writeJSON(w, http.StatusOK, wire.Health{OK: true, NowNS: int64(st.Now), Subscribers: st.Subscribers})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.FromServiceStats(s.svc.Stats()))
+}
+
+// handleSubscribe opens a subscription from the request body and streams
+// its results until the subscription or the client goes away.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req wire.SubscribeRequest
+	if err := wire.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "wire: bad subscribe request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := req.Spec.QuerySpec()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	src, err := req.Motion.Source()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// The request context tears the subscription down on disconnect: the
+	// Results channel then closes and the stream loop below ends.
+	sub, err := s.svc.Subscribe(r.Context(), spec, src)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.mu.Lock()
+	s.subs[sub.ID()] = sub
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, sub.ID())
+		s.mu.Unlock()
+		sub.Close()
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	enc := wire.NewEncoder(w)
+	// Periods count from the service's now at Subscribe; the ack hands
+	// the client that origin so it can anchor deadline arithmetic.
+	ack := wire.Frame{Type: wire.FrameAck, ID: sub.ID(), NowNS: int64(s.svc.Now())}
+	if enc.Encode(ack) != nil || rc.Flush() != nil {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case res, ok := <-sub.Results():
+			if !ok {
+				st := wire.FromSubStats(sub.Stats())
+				f := wire.Frame{Type: wire.FrameEnd, ID: sub.ID(), Stats: &st}
+				if enc.Encode(f) == nil {
+					rc.Flush()
+				}
+				return
+			}
+			rf := wire.FromResult(res)
+			f := wire.Frame{Type: wire.FrameResult, ID: sub.ID(), Result: &rf}
+			if enc.Encode(f) != nil || rc.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleWaypoints applies a client-streamed body of ground-truth position
+// updates to a subscription this server opened, each as it arrives.
+func (s *Server) handleWaypoints(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	dec := wire.NewDecoder(r.Body)
+	applied := 0
+	for {
+		var wp wire.Waypoint
+		if err := dec.Decode(&wp); err != nil {
+			break // EOF ends the stream; garbage ends it early
+		}
+		if sub.UpdateWaypoint(mobiquery.Pt(wp.XM, wp.YM)) != nil {
+			break // subscription closed mid-stream
+		}
+		applied++
+	}
+	writeJSON(w, http.StatusOK, wire.WaypointReply{Applied: applied})
+}
+
+func (s *Server) handleSubStats(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	info := wire.SubscriptionInfo{ID: sub.ID(), Stats: wire.FromSubStats(sub.Stats())}
+	if ps, ok := sub.PrefetchStats(); ok {
+		wps := wire.FromPrefetchStats(ps)
+		info.Prefetch = &wps
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	var req wire.AdvanceRequest
+	if err := wire.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "wire: bad advance request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.svc.Advance(time.Duration(req.DNS)); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.Health{OK: true, NowNS: int64(s.svc.Now()), Subscribers: s.svc.Subscribers()})
+}
+
+// lookup resolves the {id} path value to a subscription opened on this
+// server, writing the error response when it can't.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*mobiquery.Subscription, bool) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad subscription id", http.StatusBadRequest)
+		return nil, false
+	}
+	s.mu.Lock()
+	sub := s.subs[uint32(id)]
+	s.mu.Unlock()
+	if sub == nil {
+		http.Error(w, "no such subscription", http.StatusNotFound)
+		return nil, false
+	}
+	return sub, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	wire.NewEncoder(w).Encode(v)
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobiquery/internal/core"
@@ -125,12 +126,22 @@ type Service struct {
 	// mu guards the membership state only: the subscription registry and
 	// the clock. Evaluation runs outside it, so Subscribe, Close, and
 	// read-only introspection never wait on an in-flight Advance batch.
-	mu     sync.RWMutex
-	now    time.Duration
-	subs   map[uint32]*Subscription
-	nextID uint32
-	closed bool
-	stop   chan struct{}
+	mu       sync.RWMutex
+	now      time.Duration
+	subs     map[uint32]*Subscription
+	nextID   uint32
+	closed   bool
+	draining bool
+	stop     chan struct{}
+
+	// Lifetime delivery totals across every subscription, live or closed
+	// (ServiceStats). Atomics: deliver runs under per-subscription locks,
+	// never a service-wide one.
+	totOpened    atomic.Uint64
+	totClosed    atomic.Uint64
+	totDelivered atomic.Uint64
+	totDropped   atomic.Uint64
+	totLate      atomic.Uint64
 
 	// advMu serializes Advance calls (the clock moves one step at a time)
 	// and guards the scratch buffers below, which are reused across steps
@@ -261,6 +272,69 @@ func (s *Service) Subscribers() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.subs)
+}
+
+// Drain puts the service into drain mode: new Subscribe calls fail while
+// every existing subscription keeps streaming until it ends on its own
+// (Lifetime, Close, context) — the graceful half of a shutdown. The clock
+// keeps running; call Close once Subscribers reaches zero (or a grace
+// period expires) to finish. Drain is idempotent and cannot be undone.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Service) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+// ServiceStats is a point-in-time aggregate of the service's delivery
+// ledger: the live membership plus lifetime totals accumulated across
+// every subscription the service has ever carried, including closed ones.
+// The totals obey Delivered + Dropped == sum of evaluated periods, the
+// same accounting SubscriptionStats keeps per subscription.
+type ServiceStats struct {
+	// Now is the service's current virtual time; Nodes the sensor count;
+	// Subscribers the live subscription count; Draining whether Drain has
+	// been called.
+	Now         time.Duration
+	Nodes       int
+	Subscribers int
+	Draining    bool
+	// Opened and Closed count subscriptions over the service's lifetime.
+	Opened uint64
+	Closed uint64
+	// Delivered, Dropped, and Late total the per-subscription ledgers:
+	// results handed to Results channels, results discarded against full
+	// buffers, and results delivered past their deadline slack.
+	Delivered uint64
+	Dropped   uint64
+	Late      uint64
+}
+
+// Stats returns the service-wide delivery ledger. Like Subscribers it
+// takes only the registry read lock, so introspection never blocks an
+// in-flight Advance batch; the totals are atomics and may trail a
+// concurrent delivery by an instant.
+func (s *Service) Stats() ServiceStats {
+	s.mu.RLock()
+	st := ServiceStats{
+		Now:         s.now,
+		Subscribers: len(s.subs),
+		Draining:    s.draining,
+	}
+	s.mu.RUnlock()
+	st.Nodes = s.engine.NodeCount()
+	st.Opened = s.totOpened.Load()
+	st.Closed = s.totClosed.Load()
+	st.Delivered = s.totDelivered.Load()
+	st.Dropped = s.totDropped.Load()
+	st.Late = s.totLate.Load()
+	return st
 }
 
 // Advance moves the service's virtual clock forward by d and delivers

@@ -430,6 +430,9 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 	if s.closed {
 		return nil, fmt.Errorf("mobiquery: service is closed")
 	}
+	if s.draining {
+		return nil, fmt.Errorf("mobiquery: service is draining")
+	}
 	s.nextID++
 	sub := &Subscription{
 		svc:     s,
@@ -507,6 +510,7 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 		}
 	}
 	s.subs[sub.id] = sub
+	s.totOpened.Add(1)
 
 	if ctx != nil && ctx.Done() != nil {
 		go func() {
@@ -611,6 +615,7 @@ func (sub *Subscription) close() {
 	close(sub.results)
 	close(sub.done)
 	sub.mu.Unlock()
+	sub.svc.totClosed.Add(1)
 	sub.svc.engine.Deregister(sub.id)
 }
 
@@ -743,11 +748,14 @@ func (sub *Subscription) deliver(r *QueryResult) {
 	sub.stats.NextPeriod = r.K + 1
 	if !r.OnTime {
 		sub.stats.Late++
+		sub.svc.totLate.Add(1)
 	}
 	select {
 	case sub.results <- *r:
 		sub.stats.Delivered++
+		sub.svc.totDelivered.Add(1)
 	default:
 		sub.stats.Dropped++
+		sub.svc.totDropped.Add(1)
 	}
 }
