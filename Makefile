@@ -52,7 +52,8 @@ serve-smoke:
 	$(GO) run ./cmd/mobiquery-loadgen -serve bin/mobiquery-serve -out SLO_pr.json \
 		-nodes 2000 -tick 20ms -workers 8 -warmup 1s -duration 6s \
 		-wave-workers 8 -wave-at 3s -period 200ms -deadline 100ms \
-		-fresh 200ms -lifetime 1s -jit-every 4 -course-every 5
+		-fresh 200ms -lifetime 1s -jit-every 4 -course-every 5 \
+		-large-radius 200 -large-every 16
 
 # Compare the fresh SLO_pr.json against the committed SLO_baseline.json.
 # SLO_THRESHOLD > 0 gates three p99s — steady subscribe latency, steady

@@ -48,6 +48,7 @@ import (
 	"mobiquery/internal/geom"
 	"mobiquery/internal/metrics"
 	"mobiquery/internal/prefetch"
+	"mobiquery/internal/pyramid"
 )
 
 // Scheme selects the prefetching strategy.
@@ -275,12 +276,29 @@ type QueryResult struct {
 	// scan (identical values, cheaper evaluation). Always false without a
 	// QuerySpec.Corridor.
 	CorridorHit bool
+	// PyramidHit marks a period whose aggregate was served from the
+	// service's hierarchical tile pyramid — the query disk decomposed into
+	// covered coarse tiles plus a disk-tested fringe — instead of a flat
+	// area scan. The served member set is provably identical to the flat
+	// scan's (anything unprovable falls back cold, leaving this false);
+	// only Sum-derived values may differ in float-addition grouping.
+	PyramidHit bool
+	// WindowPeriods is the number of period evaluations merged into this
+	// result under QuerySpec.Window (fewer than Window during the first
+	// results); 0 for ordinary single-period results.
+	WindowPeriods int
 }
 
 // PrefetchStats is a prefetching subscription's planner ledger
 // (Subscription.PrefetchStats): replans, prefetched readings served, and
 // the end of the current equation-16 warmup interval.
 type PrefetchStats = prefetch.Stats
+
+// PyramidStats is the aggregate tile pyramid's ledger
+// (Service.PyramidStats): epoch builds, served evaluations, declines by
+// reason, and the node-visit accounting that prices pyramid serves against
+// the flat scans they replace.
+type PyramidStats = pyramid.Stats
 
 // Result summarizes a batch run.
 type Result struct {

@@ -536,6 +536,76 @@ func BenchmarkAdvanceCorridor(b *testing.B) {
 	})
 }
 
+// benchPyramidService opens a dense service and loads it with large-radius
+// static subscribers sharing one period, so every boundary ingests one
+// pyramid epoch and serves the whole population from it. Radius 900 over a
+// 2000 m region keeps each disk clear of the unbounded edge cells while
+// covering ~64 % of the field — the regime where tile decomposition pays.
+func benchPyramidService(b *testing.B, subscribers int, period time.Duration) *Service {
+	b.Helper()
+	nc := NetworkConfig{
+		Seed: 1, Nodes: 5000, RegionSide: 2000,
+		SamplePeriod: time.Second,
+	}
+	svc, err := Open(context.Background(), nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	rng := rand.New(rand.NewSource(2))
+	spec := QuerySpec{Radius: 900, Period: period}
+	for i := 0; i < subscribers; i++ {
+		p := geomPt(980+40*rng.Float64(), 980+40*rng.Float64())
+		if _, err := svc.Subscribe(context.Background(), spec, StaticPosition(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// BenchmarkAdvancePyramid measures the aggregate tile pyramid on the
+// Advance hot path. Dense makes every subscriber's period due each tick, so
+// one epoch ingest (O(nodes)) is amortized over the population and each
+// serve touches only covered-tile partials plus the boundary fringe —
+// O(perimeter + log area) instead of the cold scan's O(area). The reported
+// visit-advantage metric is ServedAreaNodes / (NodesIngested + FringeNodes),
+// the factor by which pyramid serves beat the node visits a flat scan would
+// have spent on the same evaluations. Idle pins that attached pyramids add
+// nothing — and allocate nothing — on ticks where no period is due.
+func BenchmarkAdvancePyramid(b *testing.B) {
+	b.Run("Dense", func(b *testing.B) {
+		b.ReportAllocs()
+		svc := benchPyramidService(b, 300, time.Second)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := svc.Advance(time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ps, _ := svc.PyramidStats()
+		if ps.Served == 0 {
+			b.Fatal("no pyramid serves: the aggregate index never attached")
+		}
+		if miss := ps.MissNoEpoch + ps.MissFreshness + ps.MissVersion; miss != 0 {
+			b.Fatalf("%d pyramid misses on a static dense workload", miss)
+		}
+		visits := ps.NodesIngested + ps.FringeNodes
+		b.ReportMetric(float64(ps.ServedAreaNodes)/float64(visits), "visit-advantage")
+		b.ReportMetric(float64(ps.Served)/float64(b.N), "serves/op")
+	})
+	b.Run("Idle", func(b *testing.B) {
+		b.ReportAllocs()
+		svc := benchPyramidService(b, 2000, time.Hour)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := svc.Advance(time.Microsecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkExtensionTwoUsers measures two concurrent mobile users sharing
 // the network — the multi-user load the Section 5 contention analysis
 // anticipates. Reports each user's success ratio.

@@ -28,7 +28,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mobiquery-experiments", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, churn, prefetch, corridor, or all")
+		fig     = fs.String("fig", "all", "which artifact to reproduce: 4, 5, 6, 7, 8, warmup, ablation, scale, churn, prefetch, corridor, pyramid, or all")
 		runs    = fs.Int("runs", 0, "topologies per data point (0 = paper's count)")
 		scale   = fs.Float64("scale", 1, "session length scale factor (1 = paper durations)")
 		seed    = fs.Int64("seed", 1, "base seed")
@@ -74,6 +74,10 @@ func run(args []string) error {
 		}
 	case "corridor":
 		if err := printCorridor(*seed, *users, *nodes, *shards, *workers); err != nil {
+			return err
+		}
+	case "pyramid":
+		if err := printPyramid(*seed, *users, *nodes, *shards, *workers); err != nil {
 			return err
 		}
 	case "all":
@@ -284,5 +288,70 @@ func printCorridor(seed int64, users, nodes, shards, workers int) error {
 	fmt.Printf("  noisy workload: staged-hit rate %.0f%%, mispredict rate %.1f%%, cold evaluations %d -> %d, in %v\n",
 		100*corrNoisy.StagedHitRate(), 100*float64(corrNoisy.Mispredicts)/float64(corrNoisy.Evaluations),
 		jitNoisy.ColdEvaluations, corrNoisy.ColdEvaluations, res.Elapsed.Truncate(time.Millisecond))
+	return nil
+}
+
+// printPyramid runs the aggregate-pyramid comparison — flat area scans vs
+// hierarchical tile decomposition, single-period and windowed — twice (once
+// with swapped engine sizing) to verify digest invariance, checks that every
+// pyramid arm reproduces its flat twin bit for bit while serving entirely
+// from the pyramid, and reports the node-visit accounting: what an epoch
+// ingest costs and what each decomposed serve saves over the flat scan.
+func printPyramid(seed int64, users, nodes, shards, workers int) error {
+	cfg := experiment.DefaultPyramid()
+	cfg.Seed = seed
+	if users != 0 {
+		cfg.Users = users
+	}
+	if nodes != 0 {
+		cfg.Nodes = nodes
+	}
+	cfg.Shards = shards
+	cfg.Workers = workers
+
+	fmt.Printf("pyramid scenario: %d users sweeping %vm disks over a %d-node field (%v session, Tperiod=%v, Tfresh=%v, window %d)\n",
+		cfg.Users, cfg.Radius, cfg.Nodes, cfg.Duration, cfg.Period, cfg.Fresh, cfg.Window)
+
+	res, err := experiment.RunPyramid(cfg)
+	if err != nil {
+		return err
+	}
+	alt := cfg
+	alt.Shards, alt.Workers = 1, 1
+	ref, err := experiment.RunPyramid(alt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-16s %8s %6s %8s %8s %9s %8s %10s %10s %11s  %s\n",
+		"arm", "periods", "late", "served", "cold", "stale", "builds", "ingested", "fringe", "area-nodes", "digest")
+	for i, out := range res.Arms {
+		if out.Digest != ref.Arms[i].Digest {
+			return fmt.Errorf("%s digest moved across engine sizing (%#x vs %#x) — engine bug", out.Label, out.Digest, ref.Arms[i].Digest)
+		}
+		fmt.Printf("  %-16s %8d %6d %8d %8d %9d %8d %10d %10d %11d  %#x\n",
+			out.Label, out.Evaluations, out.Late, out.PyramidServes, out.ColdEvaluations,
+			out.StaleExclusions, out.Index.Builds, out.Index.NodesIngested,
+			out.Index.FringeNodes, out.Index.ServedAreaNodes, out.Digest)
+	}
+	for _, pair := range [][2]string{{"flat", "pyramid"}, {"flat/window", "pyramid/window"}} {
+		flat, _ := res.Arm(pair[0])
+		pyr, _ := res.Arm(pair[1])
+		if pyr.Digest != flat.Digest {
+			return fmt.Errorf("%s digest %#x != %s digest %#x — pyramid serves changed observable results", pair[1], pyr.Digest, pair[0], flat.Digest)
+		}
+		if pyr.ColdEvaluations != 0 || pyr.PyramidServes != pyr.Evaluations {
+			return fmt.Errorf("%s served %d/%d from the pyramid (%d cold) — exactness gate declined provable serves",
+				pair[1], pyr.PyramidServes, pyr.Evaluations, pyr.ColdEvaluations)
+		}
+	}
+	pyr, _ := res.Arm("pyramid")
+	visits := pyr.Index.NodesIngested + pyr.Index.FringeNodes
+	if visits == 0 || pyr.Index.ServedAreaNodes == 0 {
+		return fmt.Errorf("pyramid ledger empty: %+v", pyr.Index)
+	}
+	fmt.Printf("  digests invariant to Shards/Workers; pyramid == flat bit for bit on both pairs\n")
+	fmt.Printf("  pyramid arm: %d epoch builds, %.2fx node-visit advantage (%d flat-equivalent area nodes vs %d ingested+fringe), in %v\n",
+		pyr.Index.Builds, float64(pyr.Index.ServedAreaNodes)/float64(visits),
+		pyr.Index.ServedAreaNodes, visits, res.Elapsed.Truncate(time.Millisecond))
 	return nil
 }

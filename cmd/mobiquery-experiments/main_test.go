@@ -52,3 +52,12 @@ func TestRunCorridorScenarioSmall(t *testing.T) {
 		t.Fatalf("run failed: %v", err)
 	}
 }
+
+func TestRunPyramidScenarioSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the pyramid scenario")
+	}
+	if err := run([]string{"-fig", "pyramid", "-users", "8", "-nodes", "1500"}); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+}

@@ -58,6 +58,8 @@ func run(args []string) error {
 		region   = fs.Float64("region", 450, "field side, meters (must match the server)")
 		jitN     = fs.Int("jit-every", 4, "every Nth subscription prefetches with JIT (0 = never)")
 		courseN  = fs.Int("course-every", 5, "every Nth subscription rides a GPS course (0 = never)")
+		largeR   = fs.Float64("large-radius", 0, "radius for large aggregate queries, meters (0 disables them)")
+		largeN   = fs.Int("large-every", 16, "every Nth subscription uses -large-radius (on-demand, pyramid-served)")
 		nodes    = fs.Int("nodes", 2000, "spawned server: sensor node count")
 		tick     = fs.Duration("tick", 20*time.Millisecond, "spawned server: real-time clock tick")
 	)
@@ -97,6 +99,10 @@ func run(args []string) error {
 		Region:      *region,
 		JITEvery:    *jitN,
 		CourseEvery: *courseN,
+		LargeRadius: *largeR,
+	}
+	if *largeR > 0 {
+		cfg.LargeEvery = *largeN
 	}
 	if err := loadgen.WaitReady(http.DefaultClient, base, 10*time.Second); err != nil {
 		return err

@@ -65,14 +65,16 @@ type liveQuery struct {
 	tmu      sync.Mutex
 	temporal *temporalState
 	// sampler overrides the engine-global Sampler for this query's windowed
-	// evaluations, plan is the prefetch plan EvaluateDue consults, and
-	// warmer serves pre-staged corridor snapshots to evaluateWindow; all
-	// three are nil (pure on-demand, cold-scan behavior) unless a prefetch
-	// planner installed them via SetQuerySampler/SetQueryPlan/
-	// SetQueryWarmer. Guarded by tmu.
-	sampler AreaSampler
-	plan    PrefetchPlan
-	warmer  CorridorWarmer
+	// evaluations, plan is the prefetch plan EvaluateDue consults, warmer
+	// serves pre-staged corridor snapshots to evaluateWindow, and aggIndex
+	// answers whole-disk aggregates from a multiresolution tile pyramid;
+	// all four are nil (pure on-demand, cold-scan behavior) unless
+	// installed via SetQuerySampler/SetQueryPlan/SetQueryWarmer/
+	// SetQueryAggIndex. Guarded by tmu.
+	sampler  AreaSampler
+	plan     PrefetchPlan
+	warmer   CorridorWarmer
+	aggIndex AggIndex
 }
 
 type engineStripe struct {

@@ -55,6 +55,41 @@ type CorridorWarmer interface {
 	VisitStaged(due sim.Time, center geom.Point, radius float64, fn func(id int32, pos geom.Point)) bool
 }
 
+// AggServe is an aggregate-index answer to one windowed evaluation: the
+// whole-disk partial aggregate plus the accounting the cold scan would have
+// produced. Data carries Count/Sum/Min/Max only — contributor ids are not
+// enumerated (skipping that enumeration is the point of the index), so
+// Data.Contribs is nil.
+type AggServe struct {
+	// Data is the fresh in-area aggregate (Contribs nil).
+	Data Partial
+	// AreaNodes counts every in-disk node; StaleNodes those excluded for
+	// missing the freshness window — identical to the cold scan's counts.
+	AreaNodes  int
+	StaleNodes int
+	// MaxStaleness is the age at the boundary of the oldest contributing
+	// reading; Newest the timestamp of the newest one (meaningful only when
+	// Data.Count > 0).
+	MaxStaleness time.Duration
+	Newest       sim.Time
+}
+
+// AggIndex is the aggregate-index hook of a temporal query:
+// internal/pyramid.Pyramid implements it. ServeWindow answers the whole
+// freshness-windowed disk aggregate at a period boundary from precomputed
+// multiresolution tile partials, or reports ok=false when it cannot prove
+// the answer equals the cold radius scan — no epoch ingested for this
+// boundary, a freshness window it was not built under, or the node index
+// mutated since ingest. A true return must account exactly the member set
+// the cold scan would: same in-area nodes, same freshness decisions, same
+// Count/Min/Max bit for bit (Sum is folded in the index's deterministic
+// tile-major order, which differs from the cold scan's id-major order only
+// by float-addition grouping). A nil index (the default) keeps the cold
+// path exactly.
+type AggIndex interface {
+	ServeWindow(due sim.Time, center geom.Point, radius float64, fresh time.Duration) (AggServe, bool)
+}
+
 // TemporalSpec is the temporal contract of a streaming query: one result
 // per Period, due Deadline after each period boundary, computed from
 // readings no staler than Fresh at the boundary. It is the engine-level
@@ -71,6 +106,11 @@ type TemporalSpec struct {
 	// excluded from the result. Zero disables the window (any reading
 	// qualifies, however old).
 	Fresh time.Duration
+	// Window is the number of consecutive period boundaries each result
+	// aggregates over: every delivered result merges the last Window
+	// periods' evaluations (each at its own boundary position), oldest
+	// first. 0 or 1 keeps plain per-period results.
+	Window int
 }
 
 // Validate reports specification errors.
@@ -82,6 +122,8 @@ func (ts TemporalSpec) Validate() error {
 		return fmt.Errorf("core: temporal deadline slack %v must be non-negative", ts.Deadline)
 	case ts.Fresh < 0:
 		return fmt.Errorf("core: freshness window %v must be non-negative", ts.Fresh)
+	case ts.Window < 0:
+		return fmt.Errorf("core: aggregation window %d must be non-negative", ts.Window)
 	}
 	return nil
 }
@@ -105,6 +147,25 @@ type temporalState struct {
 	// no pooling or clearing discipline is needed.
 	scratch []areaHit
 	nodes   []radio.NodeID
+	// winRing holds the last spec.Window single-period evaluations of a
+	// windowed query (allocated on first use, entries reused in place) and
+	// winContribs the merged-contributor scratch; winNext/winLen are the
+	// ring cursor and fill. Guarded by tmu like the rest.
+	winRing     []windowPeriod
+	winNext     int
+	winLen      int
+	winContribs []radio.NodeID
+}
+
+// windowPeriod is one single-period evaluation retained for N-period
+// window merging. Contribs in data points into entry-owned storage.
+type windowPeriod struct {
+	due        sim.Time
+	data       Partial
+	areaNodes  int
+	staleNodes int
+	maxStale   time.Duration
+	prefetched int
 }
 
 // TemporalStats is a snapshot of one query's temporal accounting.
@@ -157,6 +218,17 @@ type WindowResult struct {
 	// cold grid radius scan. The result values are identical either way;
 	// only the evaluation cost differs. Always false without a warmer.
 	CorridorHit bool
+	// PyramidHit reports the period's aggregate was served from the query's
+	// aggregate index (SetQueryAggIndex) instead of a cold radius scan.
+	// Values and accounting are identical either way; Nodes and
+	// Data.Contribs stay empty on a pyramid serve, since skipping the
+	// per-node enumeration is exactly what the index buys. Always false
+	// without an index.
+	PyramidHit bool
+	// WindowPeriods is how many period boundaries the result aggregates
+	// over (spec.Window at steady state, ramping up from 1 at session
+	// start); zero for plain per-period queries.
+	WindowPeriods int
 }
 
 // ScheduleSampler builds the standard periodic sampling schedule: node id
@@ -226,6 +298,26 @@ func (e *QueryEngine) SetQueryWarmer(queryID uint32, w CorridorWarmer) bool {
 	}
 	q.tmu.Lock()
 	q.warmer = w
+	q.tmu.Unlock()
+	return true
+}
+
+// SetQueryAggIndex attaches an aggregate index to a temporal query:
+// windowed evaluations then ask it for the whole-disk aggregate before
+// falling back to the cold radius scan (or the corridor warmer, which takes
+// precedence when both are attached), and report index serves in
+// WindowResult.PyramidHit. The index is consulted only while the query has
+// no per-query sampler: a prefetch planner's sampler serves plan-staged
+// readings the index never ingested, so those queries always take their
+// own path. It reports whether the query exists and carries a temporal
+// contract.
+func (e *QueryEngine) SetQueryAggIndex(queryID uint32, ix AggIndex) bool {
+	q := e.temporal(queryID)
+	if q == nil {
+		return false
+	}
+	q.tmu.Lock()
+	q.aggIndex = ix
 	q.tmu.Unlock()
 	return true
 }
@@ -317,6 +409,9 @@ func (e *QueryEngine) EvaluateDue(queryID uint32, now sim.Time) (WindowResult, b
 		res.Late = true
 		res.Lateness = res.EvaluatedAt - due
 	}
+	if t.spec.Window > 1 {
+		res = t.mergeWindow(res)
+	}
 	t.nextK++
 	t.evaluated++
 	if res.Late {
@@ -371,6 +466,11 @@ func (e *QueryEngine) evaluateWindow(q *liveQuery, spec TemporalSpec, due sim.Ti
 			return out
 		}
 	}
+	if q.aggIndex != nil && q.sampler == nil {
+		if out, ok := e.evaluateWindowAgg(q, spec, due); ok {
+			return out
+		}
+	}
 	center := *q.pos.Load()
 	out := WindowResult{
 		AreaResult: AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: NewPartial()},
@@ -403,6 +503,31 @@ func (e *QueryEngine) evaluateWindowWarm(q *liveQuery, spec TemporalSpec, due si
 	return out, true
 }
 
+// evaluateWindowAgg asks the query's aggregate index for the boundary's
+// whole-disk aggregate; ok is false when the index declined (no epoch for
+// the boundary, freshness mismatch, or node-index skew since ingest) and
+// the caller must run the cold scan. Caller holds q.tmu.
+func (e *QueryEngine) evaluateWindowAgg(q *liveQuery, spec TemporalSpec, due sim.Time) (WindowResult, bool) {
+	center := *q.pos.Load()
+	sv, ok := q.aggIndex.ServeWindow(due, center, q.radius, spec.Fresh)
+	if !ok {
+		return WindowResult{}, false
+	}
+	out := WindowResult{
+		AreaResult:   AreaResult{QueryID: q.id, Center: center, Radius: q.radius, Data: sv.Data},
+		PyramidHit:   true,
+		AreaNodes:    sv.AreaNodes,
+		StaleNodes:   sv.StaleNodes,
+		MaxStaleness: sv.MaxStaleness,
+	}
+	t := q.temporal
+	if sv.Data.Count > 0 && (!t.hasReading || sv.Newest > t.lastReading) {
+		t.lastReading = sv.Newest
+		t.hasReading = true
+	}
+	return out, true
+}
+
 // addAreaHit is the shared per-node collection body of a windowed
 // evaluation: freshness-window the node's reading and record the hit.
 func (e *QueryEngine) addAreaHit(q *liveQuery, spec TemporalSpec, due sim.Time, out *WindowResult, hits *[]areaHit, id int32, pos geom.Point) {
@@ -419,6 +544,63 @@ func (e *QueryEngine) addAreaHit(q *liveQuery, spec TemporalSpec, due sim.Time, 
 		return
 	}
 	*hits = append(*hits, areaHit{id: id, pos: pos, sample: sample, prefetched: prefetched})
+}
+
+// mergeWindow folds the current single-period evaluation into the query's
+// N-period ring and returns the windowed result: the last spec.Window
+// periods' aggregates merged oldest first (each period was evaluated at its
+// own boundary position), with summed node accounting and staleness
+// re-aged to the current boundary. The current period's timing fields
+// (Due, EvaluatedAt, Late, PyramidHit, ...) are kept: the window is a data
+// aggregate, not a delivery contract. Caller holds the owning query's tmu.
+func (t *temporalState) mergeWindow(cur WindowResult) WindowResult {
+	w := t.spec.Window
+	if t.winRing == nil {
+		t.winRing = make([]windowPeriod, w)
+	}
+	e := &t.winRing[t.winNext]
+	t.winNext = (t.winNext + 1) % w
+	if t.winLen < w {
+		t.winLen++
+	}
+	e.due = cur.Due
+	e.areaNodes = cur.AreaNodes
+	e.staleNodes = cur.StaleNodes
+	e.maxStale = cur.MaxStaleness
+	e.prefetched = cur.Prefetched
+	contribs := e.data.Contribs
+	e.data = cur.Data
+	e.data.Contribs = append(contribs[:0], cur.Data.Contribs...)
+
+	out := cur
+	out.Data = NewPartial()
+	out.AreaNodes, out.StaleNodes, out.MaxStaleness, out.Prefetched = 0, 0, 0, 0
+	t.winContribs = t.winContribs[:0]
+	for i := 0; i < t.winLen; i++ {
+		p := &t.winRing[(t.winNext+w-t.winLen+i)%w]
+		out.Data.Count += p.data.Count
+		out.Data.Sum += p.data.Sum
+		if p.data.Count > 0 {
+			if p.data.Min < out.Data.Min {
+				out.Data.Min = p.data.Min
+			}
+			if p.data.Max > out.Data.Max {
+				out.Data.Max = p.data.Max
+			}
+			// A reading's age grows with every boundary it is carried
+			// across: re-age each period's staleness to the current due.
+			if aged := p.maxStale + time.Duration(cur.Due-p.due); aged > out.MaxStaleness {
+				out.MaxStaleness = aged
+			}
+		}
+		t.winContribs = append(t.winContribs, p.data.Contribs...)
+		out.AreaNodes += p.areaNodes
+		out.StaleNodes += p.staleNodes
+		out.Prefetched += p.prefetched
+	}
+	out.Data.Contribs = t.winContribs
+	out.WindowPeriods = t.winLen
+	return out
 }
 
 // finishWindow sorts the collected hits and folds them into the result,

@@ -121,6 +121,20 @@ func NewShardedGrid(region Rect, cellSize float64, shardCount int) *ShardedGrid 
 // Shards returns the number of spatial shards.
 func (g *ShardedGrid) Shards() int { return len(g.shards) }
 
+// Region returns the rectangle the grid was constructed over. Items may be
+// stored outside it: cellOf clamps out-of-region points into edge cells.
+func (g *ShardedGrid) Region() Rect { return g.region }
+
+// CellSize returns the edge length of one grid cell.
+func (g *ShardedGrid) CellSize() float64 { return g.cell }
+
+// CellCount returns the cell-space dimensions: cells are addressed
+// (cx, cy) with 0 <= cx < cols and 0 <= cy < rows. Together with CellSize
+// and Region this is the addressing contract tile pyramids build on: cell
+// (cx, cy) nominally spans CellRect(cx, cy), except that edge cells
+// (cx or cy at 0 or the last index) extend unboundedly outward.
+func (g *ShardedGrid) CellCount() (cols, rows int) { return g.cols, g.rows }
+
 // Version returns the grid's mutation counter: it advances on every insert,
 // move, and removal, and is stable while no writer runs. Comparing two
 // Version reads detects completed mutations between them; use

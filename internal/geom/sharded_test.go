@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -307,5 +308,69 @@ func BenchmarkShardedGridWithin(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = g.Within(buf[:0], Pt(225, 225), 105)
+	}
+}
+
+func TestShardedGridVisitCellsInBoxMatchesBruteForce(t *testing.T) {
+	// Property pin for the tile-decomposition prerequisite: for any box
+	// that intersects the region, the cells VisitCellsInBox enumerates must
+	// be exactly those whose effective extent intersects the box, where
+	// edge cells extend unboundedly outward (cellOf clamps out-of-region
+	// points into them). Centers are drawn so the box frequently spills
+	// past every region edge, exercising the clamping; boxes entirely
+	// outside the region are out of contract (VisitWithin never scans them
+	// — a query disk can only reach a clamped item if it also reaches the
+	// region).
+	rng := rand.New(rand.NewSource(42))
+	for _, cellSize := range []float64{7, 33, 105} {
+		g := NewShardedGrid(Square(450), cellSize, 0)
+		cols, rows := g.CellCount()
+		region := g.Region()
+		for trial := 0; trial < 300; trial++ {
+			radius := rng.Float64() * 300
+			center := Pt(rng.Float64()*(450+1.6*radius)-0.8*radius,
+				rng.Float64()*(450+1.6*radius)-0.8*radius)
+			got := make(map[[2]int]bool)
+			g.VisitCellsInBox(center, radius, func(cx, cy int) {
+				if got[[2]int{cx, cy}] {
+					t.Fatalf("cell (%d,%d) visited twice", cx, cy)
+				}
+				got[[2]int{cx, cy}] = true
+			})
+			boxMinX, boxMaxX := center.X-radius, center.X+radius
+			boxMinY, boxMaxY := center.Y-radius, center.Y+radius
+			want := 0
+			for cy := 0; cy < rows; cy++ {
+				for cx := 0; cx < cols; cx++ {
+					r := g.CellRect(cx, cy)
+					// Edge cells absorb everything clamped past the region.
+					minX, maxX, minY, maxY := r.MinX, r.MaxX, r.MinY, r.MaxY
+					if cx == 0 {
+						minX = math.Inf(-1)
+					}
+					if cx == cols-1 {
+						maxX = math.Inf(1)
+					}
+					if cy == 0 {
+						minY = math.Inf(-1)
+					}
+					if cy == rows-1 {
+						maxY = math.Inf(1)
+					}
+					overlap := minX <= boxMaxX && boxMinX < maxX && minY <= boxMaxY && boxMinY < maxY
+					if overlap {
+						want++
+					}
+					if overlap != got[[2]int{cx, cy}] {
+						t.Fatalf("cell=%v center=%v r=%v cell (%d,%d): visited=%v, brute force says %v",
+							cellSize, center, radius, cx, cy, got[[2]int{cx, cy}], overlap)
+					}
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("visited %d cells, brute force found %d", len(got), want)
+			}
+			_ = region
+		}
 	}
 }

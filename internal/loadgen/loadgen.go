@@ -74,6 +74,13 @@ type Config struct {
 	// random course instead of linear motion (0 = never).
 	JITEvery    int `json:"jit_every,omitempty"`
 	CourseEvery int `json:"course_every,omitempty"`
+	// LargeEvery gives every Nth subscription the fixed LargeRadius
+	// instead of a draw from [RadiusMin, RadiusMax] (0 = never). Large
+	// subscriptions always run on-demand — region-scale aggregate disks
+	// are the tile-pyramid workload, and the server only attaches the
+	// pyramid to non-prefetching queries.
+	LargeEvery  int     `json:"large_every,omitempty"`
+	LargeRadius float64 `json:"large_radius_m,omitempty"`
 }
 
 // Validate reports configuration errors.
@@ -97,8 +104,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("loadgen: need 0 < RadiusMin <= RadiusMax, got %v/%v", c.RadiusMin, c.RadiusMax)
 	case c.Region <= 0:
 		return fmt.Errorf("loadgen: Region must be positive, got %v", c.Region)
-	case c.JITEvery < 0 || c.CourseEvery < 0:
-		return fmt.Errorf("loadgen: JITEvery and CourseEvery must be non-negative")
+	case c.JITEvery < 0 || c.CourseEvery < 0 || c.LargeEvery < 0:
+		return fmt.Errorf("loadgen: JITEvery, CourseEvery, and LargeEvery must be non-negative")
+	case c.LargeEvery > 0 && c.LargeRadius <= 0:
+		return fmt.Errorf("loadgen: LargeEvery %d needs a positive LargeRadius, got %v", c.LargeEvery, c.LargeRadius)
 	}
 	return nil
 }
@@ -312,6 +321,10 @@ func request(cfg Config, n int) wire.SubscribeRequest {
 	}
 	if cfg.JITEvery > 0 && n%cfg.JITEvery == 0 {
 		spec.Strategy = "jit"
+	}
+	if cfg.LargeEvery > 0 && n%cfg.LargeEvery == 0 {
+		spec.RadiusM = cfg.LargeRadius
+		spec.Strategy = ""
 	}
 	// Keep starts away from the boundary so query areas stay populated.
 	x := cfg.Region * (0.2 + 0.6*rng.Float64())

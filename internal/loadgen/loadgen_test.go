@@ -48,6 +48,8 @@ func smokeConfig(addr string) Config {
 		Region:      450,
 		JITEvery:    2,
 		CourseEvery: 3,
+		LargeEvery:  4,
+		LargeRadius: 200,
 	}
 }
 
@@ -148,6 +150,14 @@ func TestSeededRequestsAreDeterministic(t *testing.T) {
 	if r := request(cfg, 1); r.Spec.Strategy != "" || r.Motion.Kind != "linear" {
 		t.Errorf("subscription 1 should be plain linear on-demand: %+v", r)
 	}
+	// LargeEvery pins the radius and forces on-demand, even where the
+	// JITEvery stripe coincides (n=4 is both JITEvery=2 and LargeEvery=4).
+	if r := request(cfg, 4); r.Spec.RadiusM != cfg.LargeRadius || r.Spec.Strategy != "" {
+		t.Errorf("subscription 4 should be a large on-demand disk: %+v", r.Spec)
+	}
+	if r := request(cfg, 2); r.Spec.RadiusM == cfg.LargeRadius {
+		t.Error("subscription 2 should draw from [RadiusMin, RadiusMax]")
+	}
 }
 
 func TestConfigValidation(t *testing.T) {
@@ -166,6 +176,8 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.RadiusMin = 0 },
 		func(c *Config) { c.RadiusMax = c.RadiusMin - 1 },
 		func(c *Config) { c.Region = 0 },
+		func(c *Config) { c.LargeEvery = -1 },
+		func(c *Config) { c.LargeRadius = 0 },
 	}
 	for i, mut := range mutations {
 		c := good

@@ -11,6 +11,7 @@ import (
 	"mobiquery/internal/core"
 	"mobiquery/internal/geom"
 	"mobiquery/internal/mobility"
+	"mobiquery/internal/pyramid"
 	"mobiquery/internal/radio"
 	"mobiquery/internal/sim"
 )
@@ -53,27 +54,11 @@ type NodeIndex interface {
 }
 
 // indexPositions builds a NodeIndex over a dense position slice (node id i
-// at positions[i]), using the query radius as the cell size.
+// at positions[i]). It returns a pyramid-decomposed index sized so that
+// radius-rq queries cover most of their area with coarse tiles and only
+// disk-test a thin fringe, instead of testing every candidate node.
 func indexPositions(positions []geom.Point, rq float64) NodeIndex {
-	var region geom.Rect
-	if len(positions) > 0 {
-		region = geom.Rect{MinX: positions[0].X, MinY: positions[0].Y, MaxX: positions[0].X, MaxY: positions[0].Y}
-		for _, p := range positions[1:] {
-			region.MinX = math.Min(region.MinX, p.X)
-			region.MinY = math.Min(region.MinY, p.Y)
-			region.MaxX = math.Max(region.MaxX, p.X)
-			region.MaxY = math.Max(region.MaxY, p.Y)
-		}
-	}
-	cell := rq
-	if cell <= 0 {
-		cell = 1
-	}
-	g := geom.NewGrid(region, cell)
-	for i, p := range positions {
-		g.Insert(int32(i), p)
-	}
-	return g
+	return pyramid.NewIndex(positions, rq/8, 0)
 }
 
 // Evaluate scores gateway results against ground truth: the true query area

@@ -1,0 +1,94 @@
+package pyramid
+
+import (
+	"math"
+
+	"mobiquery/internal/geom"
+)
+
+// Index is a static read-only spatial index over a fixed set of positions
+// that answers radius queries through the same disk decomposition the live
+// pyramid uses: fully covered tiles enumerate their cells with no per-node
+// distance test (the tile rect proves containment), only the fringe is
+// tested node by node. It satisfies metrics.NodeIndex, and its results are
+// member-set identical to a flat distance scan — covered tiles hold only
+// non-edge cells, whose stored nodes are exactly the points of their rects.
+type Index struct {
+	grid     *geom.ShardedGrid
+	cg       cellGeom
+	maxLevel int
+	pos      []geom.Point
+}
+
+// NewIndex builds an Index with node id i at positions[i]. cell is the grid
+// cell size (values around rq/8 give radius-rq queries a useful tile
+// hierarchy); non-positive values fall back to 1. levels is the number of
+// rollup levels above the cells (0 selects DefaultLevels); it is clamped to
+// the grid size.
+func NewIndex(positions []geom.Point, cell float64, levels int) *Index {
+	var region geom.Rect
+	if len(positions) > 0 {
+		region = geom.Rect{MinX: positions[0].X, MinY: positions[0].Y, MaxX: positions[0].X, MaxY: positions[0].Y}
+		for _, p := range positions[1:] {
+			region.MinX = math.Min(region.MinX, p.X)
+			region.MinY = math.Min(region.MinY, p.Y)
+			region.MaxX = math.Max(region.MaxX, p.X)
+			region.MaxY = math.Max(region.MaxY, p.Y)
+		}
+	}
+	if cell <= 0 {
+		cell = 1
+	}
+	if levels == 0 {
+		levels = DefaultLevels
+	}
+	g := geom.NewShardedGrid(region, cell, 1)
+	for i, p := range positions {
+		g.Insert(int32(i), p)
+	}
+	cg := geometryOf(g)
+	return &Index{
+		grid:     g,
+		cg:       cg,
+		maxLevel: cg.maxLevels(levels),
+		pos:      append([]geom.Point(nil), positions...),
+	}
+}
+
+// Within appends the ids of all items within radius r of p (inclusive) to
+// dst and returns the extended slice.
+func (ix *Index) Within(dst []int32, p geom.Point, r float64) []int32 {
+	r2 := r * r
+	coverDisk(ix.cg, ix.maxLevel, p, r,
+		func(level, tx, ty int) {
+			c0x, c0y := tx<<level, ty<<level
+			c1x := min(c0x+1<<level-1, ix.cg.cols-1)
+			c1y := min(c0y+1<<level-1, ix.cg.rows-1)
+			for cy := c0y; cy <= c1y; cy++ {
+				for cx := c0x; cx <= c1x; cx++ {
+					ix.grid.VisitCell(cx, cy, func(id int32, _ geom.Point) {
+						dst = append(dst, id)
+					})
+				}
+			}
+		},
+		func(cx, cy int) {
+			ix.grid.VisitCell(cx, cy, func(id int32, pos geom.Point) {
+				if pos.Dist2(p) <= r2 {
+					dst = append(dst, id)
+				}
+			})
+		})
+	return dst
+}
+
+// Levels returns the number of resolution levels, including the cell layer.
+func (ix *Index) Levels() int { return ix.maxLevel + 1 }
+
+// Position returns the stored position of id.
+func (ix *Index) Position(id int32) (geom.Point, bool) {
+	if id < 0 || int(id) >= len(ix.pos) {
+		return geom.Point{}, false
+	}
+	return ix.pos[id], true
+}

@@ -1,0 +1,575 @@
+package pyramid
+
+import (
+	"cmp"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobiquery/internal/core"
+	"mobiquery/internal/field"
+	"mobiquery/internal/geom"
+	"mobiquery/internal/sim"
+)
+
+// DefaultLevels is the number of rollup levels above the cell layer when
+// Config.Levels is zero — five resolutions in total, each tile 2× coarser
+// than the one below.
+const DefaultLevels = 4
+
+// DefaultEpochs is the epoch-ring depth when Config.Epochs is zero.
+const DefaultEpochs = 4
+
+// Config parameterizes a Pyramid. Fresh, Sample, and Field fix the
+// evaluation semantics an epoch is built under; ServeWindow declines any
+// request that does not match them exactly, so a serve can never silently
+// answer under different freshness or sampling rules than the cold scan it
+// replaces.
+type Config struct {
+	// Levels is the number of rollup levels above the cells (0 selects
+	// DefaultLevels). It is clamped so the coarsest tile never exceeds the
+	// grid.
+	Levels int
+	// Epochs is the ring depth: how many recent period boundaries keep
+	// their per-tile aggregates servable (0 selects DefaultEpochs). Late
+	// evaluations and lookbacks older than the ring fall back to the cold
+	// scan.
+	Epochs int
+	// Fresh is the freshness window (Tfresh) epochs are built under; zero
+	// disables the window, exactly as in core.TemporalSpec.
+	Fresh time.Duration
+	// Sample is the node sampling schedule, the same function installed as
+	// the engine's Sampler. Nil means readings are taken at the boundary
+	// itself (the engine's no-sampler semantics).
+	Sample func(id int32, at sim.Time) (sim.Time, bool)
+	// Field is what the sensors measure.
+	Field field.Field
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Levels < 0:
+		return fmt.Errorf("pyramid: levels %d must be non-negative", c.Levels)
+	case c.Epochs < 0:
+		return fmt.Errorf("pyramid: epoch ring depth %d must be non-negative", c.Epochs)
+	case c.Fresh < 0:
+		return fmt.Errorf("pyramid: freshness window %v must be non-negative", c.Fresh)
+	case c.Field == nil:
+		return fmt.Errorf("pyramid: config needs a field")
+	}
+	return nil
+}
+
+// cellAgg is one tile's (or cell's) partial aggregate for one epoch: the
+// standard decomposable Count/Sum/Min/Max record plus the accounting a cold
+// scan keeps (total and stale node counts, contributor staleness bounds).
+// The zero value means "no nodes here"; min/max are meaningful only while
+// count > 0, mirroring core.Partial's empty semantics.
+type cellAgg struct {
+	nodes, stale int32
+	count        int32
+	sum          float64
+	min, max     float64
+	maxStale     time.Duration
+	newest       sim.Time
+}
+
+// epoch is the pyramid state frozen at one period boundary: level 0 holds
+// one cellAgg per grid cell, each higher level one per 2×-coarser tile.
+// Buffers are reused across ring rotations; ready is the publication gate
+// (set with release semantics after the rollup, checked with acquire before
+// any read).
+type epoch struct {
+	due         sim.Time
+	gridVersion uint64
+	startOK     bool
+	clean       bool
+	ready       atomic.Bool
+	lv          [][]cellAgg
+	ingested    atomic.Int64
+}
+
+// build coordinates one cooperative epoch ingest: concurrent EnsureEpoch
+// callers for the same boundary pull cell rows off the shared cursor and
+// build them in parallel (the ingest analogue of the grid's row-band
+// sharding — writers touch disjoint row stripes, so no locks are needed on
+// the hot path); whoever completes the last row runs the rollup and
+// publishes the epoch.
+type build struct {
+	e    *epoch
+	rows atomic.Int64
+	done atomic.Int64
+	fin  chan struct{}
+}
+
+// Stats is a snapshot of a pyramid's lifetime counters.
+type Stats struct {
+	// Builds counts epoch ingests; DirtyBuilds those whose clean-bracket
+	// version check failed (their epochs decline every serve).
+	Builds      uint64
+	DirtyBuilds uint64
+	// Served counts successful ServeWindow calls; the Miss counters the
+	// declines, by reason: no epoch ingested for the boundary, a freshness
+	// window the pyramid was not built under, or grid mutations since
+	// ingest.
+	Served        uint64
+	MissNoEpoch   uint64
+	MissFreshness uint64
+	MissVersion   uint64
+	// NodesIngested counts node readings folded during epoch builds and
+	// FringeNodes those disk-tested on the fringe during serves — together
+	// the pyramid's total node-visit cost. ServedAreaNodes counts the
+	// in-area nodes its serves accounted for, i.e. the node visits a cold
+	// scan would have spent on the same evaluations.
+	NodesIngested   uint64
+	FringeNodes     uint64
+	ServedAreaNodes uint64
+	// CoveredTiles and FringeCells count decomposition output across all
+	// serves.
+	CoveredTiles uint64
+	FringeCells  uint64
+}
+
+// Pyramid is a multiresolution aggregate index over a geom.ShardedGrid: a
+// ring of recent epochs, each holding per-cell partial aggregates rolled up
+// across ~4–6 resolution levels, built once per query-period boundary and
+// shared by every query on the same (period, freshness, schedule) class.
+// EnsureEpoch ingests a boundary (cooperatively across callers); ServeWindow
+// answers whole-disk aggregates from covered coarse tiles plus a disk-tested
+// fringe, declining whenever it cannot prove equality with the cold scan.
+// All methods are safe for concurrent use.
+type Pyramid struct {
+	grid     *geom.ShardedGrid
+	cg       cellGeom
+	maxLevel int
+	lw, lh   []int // per-level tile-space dims
+	fresh    time.Duration
+	sample   func(id int32, at sim.Time) (sim.Time, bool)
+	fld      field.Field
+
+	// mu excludes ring rotation (write) from serves and epoch lookups
+	// (read); bmu coordinates build starts. Lock order: bmu before mu.
+	mu     sync.RWMutex
+	ring   []*epoch
+	bmu    sync.Mutex
+	builds map[sim.Time]*build
+
+	// version counts epoch publications and ring rotations — the pyramid's
+	// own mutation counter, so tests can bracket serve sequences the way
+	// grid sweeps bracket SnapshotVersion.
+	version atomic.Uint64
+
+	sBuilds, sDirty                 atomic.Uint64
+	sServed, sNoEpoch, sFresh, sVer atomic.Uint64
+	sIngested, sFringe, sArea       atomic.Uint64
+	sTiles, sCells                  atomic.Uint64
+}
+
+// New creates a pyramid over grid. The grid's cell layer is the pyramid's
+// level 0; cfg fixes the evaluation semantics (see Config).
+func New(grid *geom.ShardedGrid, cfg Config) (*Pyramid, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Levels == 0 {
+		cfg.Levels = DefaultLevels
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = DefaultEpochs
+	}
+	cg := geometryOf(grid)
+	p := &Pyramid{
+		grid:     grid,
+		cg:       cg,
+		maxLevel: cg.maxLevels(cfg.Levels),
+		fresh:    cfg.Fresh,
+		sample:   cfg.Sample,
+		fld:      cfg.Field,
+		ring:     make([]*epoch, cfg.Epochs),
+		builds:   make(map[sim.Time]*build),
+	}
+	for i := range p.ring {
+		p.ring[i] = &epoch{}
+	}
+	p.lw = make([]int, p.maxLevel+1)
+	p.lh = make([]int, p.maxLevel+1)
+	for lv := 0; lv <= p.maxLevel; lv++ {
+		p.lw[lv], p.lh[lv] = cg.levelDims(lv)
+	}
+	return p, nil
+}
+
+// Levels returns the number of resolution levels, including the cell layer.
+func (p *Pyramid) Levels() int { return p.maxLevel + 1 }
+
+// Version returns the pyramid's mutation counter: it advances on every
+// epoch publication and ring rotation, and is stable while no ingest runs.
+func (p *Pyramid) Version() uint64 { return p.version.Load() }
+
+// Stats returns a snapshot of the lifetime counters.
+func (p *Pyramid) Stats() Stats {
+	return Stats{
+		Builds:          p.sBuilds.Load(),
+		DirtyBuilds:     p.sDirty.Load(),
+		Served:          p.sServed.Load(),
+		MissNoEpoch:     p.sNoEpoch.Load(),
+		MissFreshness:   p.sFresh.Load(),
+		MissVersion:     p.sVer.Load(),
+		NodesIngested:   p.sIngested.Load(),
+		FringeNodes:     p.sFringe.Load(),
+		ServedAreaNodes: p.sArea.Load(),
+		CoveredTiles:    p.sTiles.Load(),
+		FringeCells:     p.sCells.Load(),
+	}
+}
+
+// findEpoch returns the ready epoch for boundary due, or nil. Caller holds
+// p.mu (either mode).
+func (p *Pyramid) findEpoch(due sim.Time) *epoch {
+	for _, e := range p.ring {
+		if e.ready.Load() && e.due == due {
+			return e
+		}
+	}
+	return nil
+}
+
+// EnsureEpoch ingests the per-tile aggregates for period boundary due,
+// making them servable until the ring rotates past them. Calling it for an
+// already-ingested boundary is a cheap no-op, so every query of a class can
+// call it before evaluating; concurrent callers for the same boundary
+// cooperate on the build (each takes rows off a shared cursor) and all
+// return once the epoch is published.
+func (p *Pyramid) EnsureEpoch(due sim.Time) {
+	p.mu.RLock()
+	e := p.findEpoch(due)
+	p.mu.RUnlock()
+	if e != nil {
+		return
+	}
+	p.bmu.Lock()
+	p.mu.RLock()
+	e = p.findEpoch(due)
+	p.mu.RUnlock()
+	if e != nil {
+		p.bmu.Unlock()
+		return
+	}
+	b, ok := p.builds[due]
+	if !ok {
+		p.mu.Lock()
+		ep := p.rotate(due)
+		p.mu.Unlock()
+		ep.gridVersion, ep.startOK = p.grid.SnapshotVersion()
+		b = &build{e: ep, fin: make(chan struct{})}
+		p.builds[due] = b
+	}
+	p.bmu.Unlock()
+	total := int64(p.cg.rows)
+	for {
+		row := b.rows.Add(1) - 1
+		if row >= total {
+			break
+		}
+		p.buildRow(b.e, int(row))
+		if b.done.Add(1) == total {
+			p.finishBuild(due, b)
+		}
+	}
+	<-b.fin
+}
+
+// rotate recycles a ring slot for boundary due and returns it unpublished.
+// Caller holds p.bmu and p.mu (write); the write lock excludes serves, so
+// no reader can observe the slot mid-reset.
+func (p *Pyramid) rotate(due sim.Time) *epoch {
+	victim := -1
+	for i, e := range p.ring {
+		if p.inFlight(e) {
+			continue
+		}
+		if victim < 0 || e.due < p.ring[victim].due || !e.ready.Load() && p.ring[victim].ready.Load() {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		// Every slot hosts an in-flight build (ring depth < concurrent
+		// boundaries); grow rather than corrupt one.
+		p.ring = append(p.ring, &epoch{})
+		victim = len(p.ring) - 1
+	}
+	e := p.ring[victim]
+	e.ready.Store(false)
+	e.due = due
+	e.clean, e.startOK = false, false
+	e.ingested.Store(0)
+	if e.lv == nil {
+		e.lv = make([][]cellAgg, p.maxLevel+1)
+		for lv := range e.lv {
+			e.lv[lv] = make([]cellAgg, p.lw[lv]*p.lh[lv])
+		}
+	} else {
+		for lv := range e.lv {
+			clear(e.lv[lv])
+		}
+	}
+	p.version.Add(1)
+	return e
+}
+
+// inFlight reports whether e is owned by an unfinished build. Caller holds
+// p.bmu.
+func (p *Pyramid) inFlight(e *epoch) bool {
+	for _, b := range p.builds {
+		if b.e == e {
+			return true
+		}
+	}
+	return false
+}
+
+// cellEntry is one grid item captured during ingest.
+type cellEntry struct {
+	id  int32
+	pos geom.Point
+}
+
+func entryByID(a, b cellEntry) int { return cmp.Compare(a.id, b.id) }
+
+// entryPool recycles per-row ingest scratch across builds and pyramids.
+var entryPool = sync.Pool{New: func() any { return new([]cellEntry) }}
+
+// buildRow ingests one cell row of an epoch: per cell, the bucket is
+// captured, sorted by id (bucket order depends on insertion interleaving,
+// which is not deterministic), and folded into the cell's aggregate with
+// exactly the cold scan's freshness classification.
+func (p *Pyramid) buildRow(e *epoch, cy int) {
+	scratch := entryPool.Get().(*[]cellEntry)
+	visited := int64(0)
+	for cx := 0; cx < p.cg.cols; cx++ {
+		ents := (*scratch)[:0]
+		p.grid.VisitCell(cx, cy, func(id int32, pos geom.Point) {
+			ents = append(ents, cellEntry{id: id, pos: pos})
+		})
+		*scratch = ents
+		if len(ents) == 0 {
+			continue
+		}
+		visited += int64(len(ents))
+		slices.SortFunc(ents, entryByID)
+		agg := cellAgg{min: math.Inf(1), max: math.Inf(-1)}
+		for _, en := range ents {
+			agg.nodes++
+			t, tok := e.due, true
+			if p.sample != nil {
+				t, tok = p.sample(en.id, e.due)
+			}
+			if !tok || (p.fresh > 0 && e.due-t > p.fresh) || t > e.due {
+				agg.stale++
+				continue
+			}
+			v := p.fld.Sample(en.pos, t)
+			agg.count++
+			agg.sum += v
+			if v < agg.min {
+				agg.min = v
+			}
+			if v > agg.max {
+				agg.max = v
+			}
+			if age := e.due - t; age > agg.maxStale {
+				agg.maxStale = age
+			}
+			if t > agg.newest {
+				agg.newest = t
+			}
+		}
+		e.lv[0][cy*p.cg.cols+cx] = agg
+	}
+	e.ingested.Add(visited)
+	entryPool.Put(scratch)
+}
+
+// mergeChild folds one child tile into a parent aggregate, in the same
+// guarded style the serve path uses: min/max/staleness only ever come from
+// tiles with contributing readings.
+func mergeChild(agg *cellAgg, c *cellAgg) {
+	if c.nodes == 0 {
+		return
+	}
+	agg.nodes += c.nodes
+	agg.stale += c.stale
+	if c.count == 0 {
+		return
+	}
+	agg.count += c.count
+	agg.sum += c.sum
+	if c.min < agg.min {
+		agg.min = c.min
+	}
+	if c.max > agg.max {
+		agg.max = c.max
+	}
+	if c.maxStale > agg.maxStale {
+		agg.maxStale = c.maxStale
+	}
+	if c.newest > agg.newest {
+		agg.newest = c.newest
+	}
+}
+
+// finishBuild rolls the cell layer up the levels, closes the clean-bracket
+// version check, and publishes the epoch.
+func (p *Pyramid) finishBuild(due sim.Time, b *build) {
+	e := b.e
+	for lv := 1; lv <= p.maxLevel; lv++ {
+		w, h := p.lw[lv], p.lh[lv]
+		cw, ch := p.lw[lv-1], p.lh[lv-1]
+		child := e.lv[lv-1]
+		for ty := 0; ty < h; ty++ {
+			for tx := 0; tx < w; tx++ {
+				agg := cellAgg{min: math.Inf(1), max: math.Inf(-1)}
+				for dy := 0; dy < 2; dy++ {
+					for dx := 0; dx < 2; dx++ {
+						cx, cy := 2*tx+dx, 2*ty+dy
+						if cx < cw && cy < ch {
+							mergeChild(&agg, &child[cy*cw+cx])
+						}
+					}
+				}
+				e.lv[lv][ty*w+tx] = agg
+			}
+		}
+	}
+	v1, ok1 := p.grid.SnapshotVersion()
+	e.clean = e.startOK && ok1 && v1 == e.gridVersion
+	p.sBuilds.Add(1)
+	if !e.clean {
+		p.sDirty.Add(1)
+	}
+	p.sIngested.Add(uint64(e.ingested.Load()))
+	e.ready.Store(true)
+	p.version.Add(1)
+	p.bmu.Lock()
+	delete(p.builds, due)
+	p.bmu.Unlock()
+	close(b.fin)
+}
+
+// fringeHit is one disk-tested fringe node awaiting the id-ordered fold.
+type fringeHit struct {
+	id     int32
+	pos    geom.Point
+	sample sim.Time
+}
+
+func fringeByID(a, b fringeHit) int { return cmp.Compare(a.id, b.id) }
+
+// fringePool recycles per-serve fringe scratch.
+var fringePool = sync.Pool{New: func() any { return new([]fringeHit) }}
+
+// ServeWindow answers the freshness-windowed aggregate of the disk
+// (center, radius) at period boundary due, implementing core.AggIndex. It
+// declines (ok=false) unless it can prove the answer equals the cold scan:
+// the boundary's epoch must be in the ring, built under the same freshness
+// window, with a clean ingest bracket and no grid mutation since. Covered
+// tiles contribute their rolled-up partials in deterministic coarse-to-fine
+// recursion order; fringe nodes are disk-tested and folded in ascending id
+// order, so the result is identical whatever the shard and worker sizing.
+func (p *Pyramid) ServeWindow(due sim.Time, center geom.Point, radius float64, fresh time.Duration) (core.AggServe, bool) {
+	if fresh != p.fresh {
+		p.sFresh.Add(1)
+		return core.AggServe{}, false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e := p.findEpoch(due)
+	if e == nil {
+		p.sNoEpoch.Add(1)
+		return core.AggServe{}, false
+	}
+	if !e.clean || p.grid.Version() != e.gridVersion {
+		p.sVer.Add(1)
+		return core.AggServe{}, false
+	}
+	sv := core.AggServe{Data: core.NewPartial()}
+	r2 := radius * radius
+	scratch := fringePool.Get().(*[]fringeHit)
+	hits := (*scratch)[:0]
+	fringeVisited := 0
+	covered, fringe := coverDisk(p.cg, p.maxLevel, center, radius,
+		func(level, tx, ty int) {
+			a := &e.lv[level][ty*p.lw[level]+tx]
+			if a.nodes == 0 {
+				return
+			}
+			sv.AreaNodes += int(a.nodes)
+			sv.StaleNodes += int(a.stale)
+			if a.count == 0 {
+				return
+			}
+			sv.Data.Count += int(a.count)
+			sv.Data.Sum += a.sum
+			if a.min < sv.Data.Min {
+				sv.Data.Min = a.min
+			}
+			if a.max > sv.Data.Max {
+				sv.Data.Max = a.max
+			}
+			if a.maxStale > sv.MaxStaleness {
+				sv.MaxStaleness = a.maxStale
+			}
+			if a.newest > sv.Newest {
+				sv.Newest = a.newest
+			}
+		},
+		func(cx, cy int) {
+			p.grid.VisitCell(cx, cy, func(id int32, pos geom.Point) {
+				fringeVisited++
+				if pos.Dist2(center) > r2 {
+					return
+				}
+				sv.AreaNodes++
+				t, tok := due, true
+				if p.sample != nil {
+					t, tok = p.sample(id, due)
+				}
+				if !tok || (p.fresh > 0 && due-t > p.fresh) || t > due {
+					sv.StaleNodes++
+					return
+				}
+				hits = append(hits, fringeHit{id: id, pos: pos, sample: t})
+			})
+		})
+	slices.SortFunc(hits, fringeByID)
+	for i := range hits {
+		h := &hits[i]
+		v := p.fld.Sample(h.pos, h.sample)
+		sv.Data.Count++
+		sv.Data.Sum += v
+		if v < sv.Data.Min {
+			sv.Data.Min = v
+		}
+		if v > sv.Data.Max {
+			sv.Data.Max = v
+		}
+		if age := due - h.sample; age > sv.MaxStaleness {
+			sv.MaxStaleness = age
+		}
+		if h.sample > sv.Newest {
+			sv.Newest = h.sample
+		}
+	}
+	*scratch = hits
+	fringePool.Put(scratch)
+	p.sServed.Add(1)
+	p.sTiles.Add(uint64(covered))
+	p.sCells.Add(uint64(fringe))
+	p.sFringe.Add(uint64(fringeVisited))
+	p.sArea.Add(uint64(sv.AreaNodes))
+	return sv, true
+}

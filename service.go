@@ -12,8 +12,16 @@ import (
 
 	"mobiquery/internal/core"
 	"mobiquery/internal/geom"
+	"mobiquery/internal/pyramid"
 	"mobiquery/internal/radio"
 )
+
+// pyramidMinRadiusCells is the attach threshold for the aggregate tile
+// pyramid: an on-demand subscription uses the pyramid when its query radius
+// spans at least this many index cells (or it asked for a lookback Window).
+// Below it the disk covers too few cells for tile decomposition to beat the
+// flat scan it would replace.
+const pyramidMinRadiusCells = 6
 
 // NetworkConfig describes the sensor field a Service runs over: how many
 // nodes, where, what they measure, and how often each refreshes its
@@ -121,7 +129,15 @@ type Service struct {
 	cfg    NetworkConfig
 	opts   serviceOptions
 	region geom.Rect
+	cell   float64
 	engine *core.QueryEngine
+
+	// pyramids holds one aggregate tile pyramid per boundary class — the
+	// (period, freshness, phase) tuple whose subscriptions share the exact
+	// same period-boundary instants, and therefore the same epochs. Guarded
+	// by mu; entries live for the life of the service (classes are few and
+	// epochs bounded by each pyramid's ring).
+	pyramids map[pyrKey]*pyramid.Pyramid
 
 	// mu guards the membership state only: the subscription registry and
 	// the clock. Evaluation runs outside it, so Subscribe, Close, and
@@ -181,12 +197,14 @@ func Open(ctx context.Context, nc NetworkConfig, opts ...Option) (*Service, erro
 	}
 
 	s := &Service{
-		cfg:    nc,
-		opts:   o,
-		region: region,
-		engine: engine,
-		subs:   make(map[uint32]*Subscription),
-		stop:   make(chan struct{}),
+		cfg:      nc,
+		opts:     o,
+		region:   region,
+		cell:     cell,
+		engine:   engine,
+		subs:     make(map[uint32]*Subscription),
+		pyramids: make(map[pyrKey]*pyramid.Pyramid),
+		stop:     make(chan struct{}),
 	}
 	engine.SetSampler(s.sampler())
 
@@ -228,6 +246,62 @@ func (s *Service) sampler() core.Sampler {
 	return core.ScheduleSampler(period, func(id int32) time.Duration {
 		return time.Duration(splitmix64(seed^(uint64(uint32(id))+0x9E3779B97F4A7C15)) % uint64(period))
 	})
+}
+
+// pyrKey identifies a pyramid-sharing class of subscriptions: same period,
+// same freshness window, and same boundary phase (subscription time modulo
+// period), so every member's period boundaries land on identical instants
+// and one epoch per boundary serves them all.
+type pyrKey struct {
+	period time.Duration
+	fresh  time.Duration
+	phase  time.Duration
+}
+
+// pyramidFor returns the boundary class's shared pyramid, creating it on
+// first use. Caller holds s.mu.
+func (s *Service) pyramidFor(period, fresh time.Duration) (*pyramid.Pyramid, error) {
+	key := pyrKey{period: period, fresh: fresh, phase: s.now % period}
+	if p := s.pyramids[key]; p != nil {
+		return p, nil
+	}
+	p, err := pyramid.New(s.engine.Index(), pyramid.Config{
+		Fresh:  fresh,
+		Sample: s.sampler(),
+		Field:  s.cfg.Field,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.pyramids[key] = p
+	return p, nil
+}
+
+// PyramidStats returns the service's aggregate-pyramid ledger summed across
+// every boundary class, and the number of classes instantiated so far.
+func (s *Service) PyramidStats() (PyramidStats, int) {
+	s.mu.RLock()
+	pyrs := make([]*pyramid.Pyramid, 0, len(s.pyramids))
+	for _, p := range s.pyramids {
+		pyrs = append(pyrs, p)
+	}
+	s.mu.RUnlock()
+	var tot PyramidStats
+	for _, p := range pyrs {
+		st := p.Stats()
+		tot.Builds += st.Builds
+		tot.DirtyBuilds += st.DirtyBuilds
+		tot.Served += st.Served
+		tot.MissNoEpoch += st.MissNoEpoch
+		tot.MissFreshness += st.MissFreshness
+		tot.MissVersion += st.MissVersion
+		tot.NodesIngested += st.NodesIngested
+		tot.FringeNodes += st.FringeNodes
+		tot.ServedAreaNodes += st.ServedAreaNodes
+		tot.CoveredTiles += st.CoveredTiles
+		tot.FringeCells += st.FringeCells
+	}
+	return tot, len(pyrs)
 }
 
 // splitmix64 is the SplitMix64 finalizer: a tiny, well-mixed integer hash.
@@ -314,6 +388,13 @@ type ServiceStats struct {
 	Delivered uint64
 	Dropped   uint64
 	Late      uint64
+	// PyramidClasses counts the aggregate-pyramid boundary classes the
+	// service has instantiated; PyramidServes and PyramidBuilds total their
+	// served evaluations and epoch ingests (see Service.PyramidStats for
+	// the full ledger).
+	PyramidClasses int
+	PyramidServes  uint64
+	PyramidBuilds  uint64
 }
 
 // Stats returns the service-wide delivery ledger. Like Subscribers it
@@ -334,6 +415,10 @@ func (s *Service) Stats() ServiceStats {
 	st.Delivered = s.totDelivered.Load()
 	st.Dropped = s.totDropped.Load()
 	st.Late = s.totLate.Load()
+	ps, classes := s.PyramidStats()
+	st.PyramidClasses = classes
+	st.PyramidServes = ps.Served
+	st.PyramidBuilds = ps.Builds
 	return st
 }
 

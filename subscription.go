@@ -12,6 +12,7 @@ import (
 	"mobiquery/internal/geom"
 	"mobiquery/internal/mobility"
 	"mobiquery/internal/prefetch"
+	"mobiquery/internal/pyramid"
 )
 
 // Strategy selects how a subscription prefetches sensor data along the
@@ -107,6 +108,15 @@ type QuerySpec struct {
 	// Corridor enables spatial corridor prefetching on top of the
 	// Strategy's temporal staging. The zero value disables it.
 	Corridor CorridorSpec
+	// Window widens each result to an aggregate over the last Window query
+	// periods: the kth result merges the Window most recent single-period
+	// evaluations (each taken at its own boundary position, staleness aged
+	// to the current deadline), with QueryResult.WindowPeriods reporting
+	// how many periods actually contributed (fewer during the first
+	// Window-1 results). 0 or 1 keeps ordinary single-period results.
+	// Requires the on-demand Strategy: a windowed result spans boundaries,
+	// which the per-period prefetch ledger cannot attribute.
+	Window int
 }
 
 // Validate reports specification errors, including the paper's feasibility
@@ -138,6 +148,10 @@ func (q QuerySpec) Validate() error {
 		return fmt.Errorf("mobiquery: corridor lookahead %d must be non-negative", q.Corridor.Lookahead)
 	case q.Corridor.Lookahead > 0 && !q.Strategy.Prefetching():
 		return fmt.Errorf("mobiquery: corridor prefetching needs a prefetching Strategy (JITStrategy/GreedyStrategy)")
+	case q.Window < 0:
+		return fmt.Errorf("mobiquery: window %d must be non-negative", q.Window)
+	case q.Window > 1 && q.Strategy.Prefetching():
+		return fmt.Errorf("mobiquery: windowed aggregation (Window %d) requires the on-demand Strategy", q.Window)
 	}
 	if err := q.Corridor.ErrorModel.Validate(); err != nil {
 		return err
@@ -374,6 +388,10 @@ type Subscription struct {
 	// the predicted path; nil unless the spec asked for one. Like the
 	// planner it is installed once and mutated in place.
 	corridor *corridor.Cache
+	// pyramid is the aggregate tile pyramid this subscription's boundary
+	// class shares; nil when the spec is prefetching or the query area is
+	// too small to benefit. Installed once at Subscribe.
+	pyramid *pyramid.Pyramid
 
 	// profiles is the predicted-profile stream of a ProfileSource-backed
 	// subscription (absolute service times), with nextProfile the first
@@ -496,7 +514,7 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 		}
 	}
 	err := s.engine.RegisterTemporalE(sub.id, spec.Radius, src.PositionAt(0),
-		core.TemporalSpec{Period: spec.Period, Deadline: spec.Deadline, Fresh: spec.Freshness}, s.now)
+		core.TemporalSpec{Period: spec.Period, Deadline: spec.Deadline, Fresh: spec.Freshness, Window: spec.Window}, s.now)
 	if err != nil {
 		return nil, err
 	}
@@ -508,6 +526,17 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 			sub.corridor = cache
 			s.engine.SetQueryWarmer(sub.id, cache)
 		}
+	} else if spec.Window > 1 || spec.Radius >= pyramidMinRadiusCells*s.cell {
+		// On-demand subscriptions with large areas (or lookback windows,
+		// whose every result re-folds Window boundaries) aggregate through
+		// the shared tile pyramid of their boundary class. Small areas keep
+		// the flat scan: a handful of cells beats an epoch ingest.
+		p, perr := s.pyramidFor(spec.Period, spec.Freshness)
+		if perr != nil {
+			return nil, perr
+		}
+		sub.pyramid = p
+		s.engine.SetQueryAggIndex(sub.id, p)
 	}
 	s.subs[sub.id] = sub
 	s.totOpened.Add(1)
@@ -651,6 +680,12 @@ func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult) []pe
 		// and corridor: a fresher prediction re-plans (and re-sweeps)
 		// before the boundary is evaluated.
 		sub.pumpProfiles(due)
+		// Ingest the boundary's epoch before evaluating against it. Every
+		// subscription of the class calls this; the first arrivals build
+		// the epoch cooperatively, the rest return immediately.
+		if sub.pyramid != nil {
+			sub.pyramid.EnsureEpoch(due)
+		}
 		// The waypoint is evaluated as of the period boundary, so coarse
 		// clock steps still see the position the user held at the
 		// deadline.
@@ -726,6 +761,8 @@ func (sub *Subscription) makeResult(wr core.WindowResult) QueryResult {
 		Warmup:          wr.Warmup,
 		PrefetchedNodes: wr.Prefetched,
 		CorridorHit:     wr.CorridorHit,
+		PyramidHit:      wr.PyramidHit,
+		WindowPeriods:   wr.WindowPeriods,
 	}
 	if wr.AreaNodes > 0 {
 		qr.Fidelity = float64(wr.Data.Count) / float64(wr.AreaNodes)
