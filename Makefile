@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare serve-smoke slo-compare fmt vet check
+.PHONY: all build test race bench bench-json bench-compare bench-idle-1m serve-smoke slo-compare fmt vet check
 
 all: build
 
@@ -42,6 +42,13 @@ BENCH_THRESHOLD ?= 200
 BENCH_ALLOC_THRESHOLD ?= 200
 bench-compare: bench-json
 	$(GO) run ./cmd/mobiquery-benchcmp -baseline BENCH_baseline.json -current BENCH_pr.json -threshold $(BENCH_THRESHOLD) -allocthreshold $(BENCH_ALLOC_THRESHOLD)
+
+# The million-subscriber idle gate on its own: one pass of the idle arm of
+# BenchmarkAdvance1M, which b.Fatals if the timed loop allocates at all.
+# bench-compare's -allocfloor exempts near-zero baselines, so this — not
+# the threshold comparison — is what holds the 0-alloc idle invariant.
+bench-idle-1m:
+	$(GO) test -run=xxx -bench='^BenchmarkAdvance1M$$/^Idle$$' -benchtime=1x .
 
 # Build the network front-end and drive it with a short seeded workload;
 # writes the SLO_pr.json artifact CI uploads and slo-compare gates. The

@@ -11,6 +11,7 @@ package mobiquery
 import (
 	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -604,6 +605,92 @@ func BenchmarkAdvancePyramid(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchAdvance1MService opens a service carrying `subscribers` static
+// subscriptions for the million-subscriber Advance benchmarks. Radius 25
+// keeps each query disk to a handful of nodes (the cost under measurement
+// is the scheduler and delivery machinery, not spatial evaluation) and
+// below the pyramid attach threshold; result buffers of 1 keep the
+// million result channels from dominating memory.
+func benchAdvance1MService(b *testing.B, subscribers int, period time.Duration, cfg ServiceConfig) *Service {
+	b.Helper()
+	nc := NetworkConfig{
+		Seed: 1, Nodes: 5000, RegionSide: 2000,
+		SamplePeriod: time.Second, Service: cfg,
+	}
+	svc, err := Open(context.Background(), nc, WithResultBuffer(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { svc.Close() })
+	rng := rand.New(rand.NewSource(2))
+	region := geom.Square(nc.RegionSide)
+	spec := QuerySpec{Radius: 25, Period: period}
+	for i := 0; i < subscribers; i++ {
+		p := region.UniformPoint(rng)
+		if _, err := svc.Subscribe(context.Background(), spec, StaticPosition(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return svc
+}
+
+// BenchmarkAdvance1M is the ROADMAP item-1 target at full scale: one
+// million live subscribers on one service.
+//
+// Idle steps the clock 1 µs at a time with every period an hour out —
+// the striped scheduler's lock-free head scan must keep the tick O(stripes)
+// and allocation-free, and the benchmark hard-fails (not just reports) if
+// the timed loop allocates at all, so `-benchtime=1x` in CI gates the
+// invariant rather than asserting it locally.
+//
+// Dense makes all million periods due every op: PopDue's k-way merge,
+// the parallel evaluation fan-out with per-worker batched re-arms, and the
+// streaming delivery merge all at full width. DenseSerial is the same
+// workload pinned to one worker — the scaling denominator, so
+// Dense/DenseSerial measures what Workers>1 buys end to end (on a
+// single-core host the two tie).
+func BenchmarkAdvance1M(b *testing.B) {
+	const subscribers = 1_000_000
+	b.Run("Idle", func(b *testing.B) {
+		b.ReportAllocs()
+		svc := benchAdvance1MService(b, subscribers, time.Hour, ServiceConfig{})
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := svc.Advance(time.Microsecond); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		// bench-compare exempts near-zero alloc baselines from its gate, so
+		// the 0-alloc invariant is enforced here, where it cannot drift.
+		if allocs := after.Mallocs - before.Mallocs; allocs != 0 {
+			b.Fatalf("idle Advance at 1M subscribers allocated %d times over %d ops; the 0-alloc idle invariant is broken", allocs, b.N)
+		}
+	})
+	dense := func(cfg ServiceConfig) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			svc := benchAdvance1MService(b, subscribers, time.Second, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := svc.Advance(time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := svc.Stats()
+			if got, want := st.Delivered+st.Dropped, uint64(b.N)*subscribers; got != want {
+				b.Fatalf("evaluated %d periods, want %d — the schedule lost subscribers", got, want)
+			}
+		}
+	}
+	b.Run("Dense", dense(ServiceConfig{}))
+	b.Run("DenseSerial", dense(ServiceConfig{Workers: 1}))
 }
 
 // BenchmarkExtensionTwoUsers measures two concurrent mobile users sharing

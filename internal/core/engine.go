@@ -64,6 +64,11 @@ type liveQuery struct {
 	pos      atomic.Pointer[geom.Point]
 	tmu      sync.Mutex
 	temporal *temporalState
+	// dead is set by Deregister (under the registry stripe write lock,
+	// before the schedule entry is removed) so a batched re-arm holding only
+	// the schedule stripe lock can tell a deregistered query from a live one
+	// without touching the registry — see FlushRearms.
+	dead atomic.Bool
 	// sampler overrides the engine-global Sampler for this query's windowed
 	// evaluations, plan is the prefetch plan EvaluateDue consults, warmer
 	// serves pre-staged corridor snapshots to evaluateWindow, and aggIndex
@@ -128,10 +133,14 @@ func NewQueryEngineE(region geom.Rect, cellSize float64, fld field.Field, cfg En
 	}
 	cfg = cfg.normalized()
 	e := &QueryEngine{
-		cfg:   cfg,
-		grid:  geom.NewShardedGrid(region, cellSize, cfg.Shards),
-		fld:   fld,
-		sched: NewSchedule(),
+		cfg:  cfg,
+		grid: geom.NewShardedGrid(region, cellSize, cfg.Shards),
+		fld:  fld,
+		// One schedule stripe per worker (rounded to a power of two): the
+		// contention on the schedule comes from the workers' re-arms, and
+		// any stripe count pops identically, so sizing is purely a
+		// concurrency knob — Shards/Workers invariance holds by the merge.
+		sched: NewScheduleStriped(cfg.Workers),
 	}
 	for i := range e.stripes {
 		e.stripes[i].queries = make(map[uint32]*liveQuery)
@@ -210,9 +219,15 @@ func (e *QueryEngine) register(queryID uint32, radius float64, pos geom.Point, t
 func (e *QueryEngine) Deregister(queryID uint32) {
 	st := e.stripe(queryID)
 	st.mu.Lock()
-	_, ok := st.queries[queryID]
+	q, ok := st.queries[queryID]
 	delete(st.queries, queryID)
 	if ok {
+		// dead is set before the schedule entry is removed: a deferred
+		// re-arm that checks it under the schedule stripe lock either sees
+		// it (and skips) or upserts first — in which case this Remove, which
+		// serializes on the same stripe lock, deletes the stale entry right
+		// after. Either way the entry cannot be resurrected.
+		q.dead.Store(true)
 		e.sched.Remove(queryID)
 	}
 	st.mu.Unlock()
@@ -230,6 +245,72 @@ func (e *QueryEngine) Deregister(queryID uint32) {
 // what makes an idle Advance independent of the subscriber count.
 func (e *QueryEngine) PopDue(now sim.Time, buf []DueEntry) []DueEntry {
 	return e.sched.PopDue(now, buf)
+}
+
+// ScheduleStats snapshots the due-period scheduler: stripe count, total and
+// per-stripe entry counts, and the fan-in of the last non-empty PopDue.
+func (e *QueryEngine) ScheduleStats() ScheduleStats { return e.sched.Stats() }
+
+// rearmEntry is one deferred schedule re-arm: query q's next boundary is
+// due. The liveQuery pointer (not the bare id) is carried so the flush can
+// check q.dead — the id alone could since have been freed and re-registered
+// to a different query.
+type rearmEntry struct {
+	q   *liveQuery
+	due sim.Time
+}
+
+// RearmBatch collects deferred schedule re-arms, bucketed by schedule
+// stripe. EvaluateDueBatch appends to it instead of taking the schedule
+// lock per query; FlushRearms then takes each touched stripe's lock exactly
+// once. One batch belongs to one worker at a time (it is not synchronized);
+// create per-worker batches with NewRearmBatch and reuse them across
+// Advance steps — a flushed batch is empty and allocation-free to refill.
+type RearmBatch struct {
+	byStripe [][]rearmEntry
+}
+
+// NewRearmBatch returns an empty re-arm batch sized for e's scheduler.
+func (e *QueryEngine) NewRearmBatch() *RearmBatch {
+	return &RearmBatch{byStripe: make([][]rearmEntry, e.sched.StripeCount())}
+}
+
+// add records q's next boundary. Consecutive re-arms of the same query
+// coalesce: when a driver drains several due periods of one query in a row,
+// only the final boundary needs to reach the schedule.
+func (rb *RearmBatch) add(q *liveQuery, due sim.Time, stripe int) {
+	b := rb.byStripe[stripe]
+	if n := len(b); n > 0 && b[n-1].q == q {
+		b[n-1].due = due
+		return
+	}
+	rb.byStripe[stripe] = append(b, rearmEntry{q: q, due: due})
+}
+
+// FlushRearms applies every deferred re-arm in rb to the schedule, one
+// stripe lock hold per touched stripe, and resets rb for reuse. Queries
+// deregistered since their evaluation are skipped (see liveQuery.dead);
+// the ordering argument for why a racing Deregister can never leave a
+// resurrected entry is on Deregister.
+func (e *QueryEngine) FlushRearms(rb *RearmBatch) {
+	for i, bucket := range rb.byStripe {
+		if len(bucket) == 0 {
+			continue
+		}
+		st := &e.sched.stripes[i]
+		st.mu.Lock()
+		for _, en := range bucket {
+			if !en.q.dead.Load() {
+				st.upsert(en.q.id, en.due)
+			}
+		}
+		st.publishHead()
+		st.mu.Unlock()
+		// Zero the liveQuery pointers so a burst-sized batch doesn't pin
+		// closed queries for the batch's (service-long) lifetime.
+		clear(bucket)
+		rb.byStripe[i] = bucket[:0]
+	}
 }
 
 // UpdateWaypoint moves a user's query center (the user walked). It reports
@@ -361,6 +442,15 @@ func (e *QueryEngine) EvaluateAllSerial(at sim.Time) []AreaResult {
 // invocation with distinct arguments; with one worker (or n<2) the calls
 // run serially in order.
 func (e *QueryEngine) Dispatch(n int, fn func(i int)) {
+	e.DispatchWorkers(n, func(_, i int) { fn(i) })
+}
+
+// DispatchWorkers is Dispatch with the worker's index (0..Workers-1) passed
+// to fn alongside the work index, so callers can hand each worker private
+// scratch (a RearmBatch, an output lane) without synchronization. Which
+// worker runs which index is nondeterministic; with one worker (or n<2)
+// every call runs serially on worker 0.
+func (e *QueryEngine) DispatchWorkers(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -370,7 +460,7 @@ func (e *QueryEngine) Dispatch(n int, fn func(i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -378,16 +468,16 @@ func (e *QueryEngine) Dispatch(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) {
 					return
 				}
-				fn(int(i))
+				fn(worker, int(i))
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"mobiquery/internal/sim"
 )
@@ -13,146 +15,355 @@ type DueEntry struct {
 	Due sim.Time
 }
 
-// Schedule is the due-period scheduler behind O(due) ticking: a priority
-// queue of (Due, ID) pairs, one per live temporal query, ordered by due
-// time with ties broken by ascending id. Advancing the clock pops exactly
-// the queries whose next boundary has been reached — an idle tick peeks
-// the minimum and returns, independent of how many queries are registered.
-//
-// The implementation is a 4-ary min-heap with a position map for O(log n)
-// upsert and remove by id. A 4-ary layout was chosen over the classic
-// binary heap and over a hierarchical timing wheel after benchmarking
-// (see BenchmarkSchedule* in schedule_test.go): the shallower tree does
-// fewer cache-missing hops per sift than arity 2, and unlike a timing
-// wheel it needs no tick cascading, imposes no resolution floor on
-// periods, and pops in exactly the (due, id) order the service's
-// deterministic delivery contract requires — a wheel's buckets would need
-// a per-tick sort to match it.
-//
-// All methods are safe for concurrent use; the heap mutex is a leaf lock
-// (nothing else is acquired under it).
-type Schedule struct {
-	mu   sync.Mutex
-	heap []DueEntry
-	pos  map[uint32]int // query id -> index in heap
-}
-
-// NewSchedule returns an empty scheduler.
-func NewSchedule() *Schedule {
-	return &Schedule{pos: make(map[uint32]int)}
-}
-
-// Len returns the number of scheduled queries.
-func (s *Schedule) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.heap)
-}
-
-// less orders entries by (Due, ID): a total order, so heap pops are
+// dueLess orders entries by (Due, ID): a total order, so pops are
 // deterministic regardless of insertion interleaving.
-func (s *Schedule) less(a, b DueEntry) bool {
+func dueLess(a, b DueEntry) bool {
 	if a.Due != b.Due {
 		return a.Due < b.Due
 	}
 	return a.ID < b.ID
 }
 
+// stripeEmpty is the published head of a stripe with no entries: later than
+// any real due time, so the idle fast path skips the stripe with one load.
+const stripeEmpty = math.MaxInt64
+
+// scheduleStripe is one partition of the scheduler: the entries of every
+// query id hashing to this stripe, in a 4-ary min-heap with a position map
+// for O(log n) upsert and remove by id, behind the stripe's own leaf mutex.
+// A 4-ary layout was chosen over the classic binary heap and over a
+// hierarchical timing wheel after benchmarking (see BenchmarkSchedule* in
+// schedule_test.go): the shallower tree does fewer cache-missing hops per
+// sift than arity 2, and unlike a timing wheel it needs no tick cascading,
+// imposes no resolution floor on periods, and pops in exactly the sorted
+// order the deterministic k-way merge needs.
+type scheduleStripe struct {
+	mu   sync.Mutex
+	heap []DueEntry
+	pos  map[uint32]int // query id -> index in heap
+	// head is the stripe's minimum due time (stripeEmpty when empty),
+	// written only under mu and read lock-free by PopDue's idle fast path —
+	// always authoritative for this stripe, so no cross-stripe coherence
+	// protocol is needed.
+	head atomic.Int64
+	// drain is the stripe's popped-prefix scratch for PopDue's merge. It is
+	// filled under mu and read after mu is released; the popper mutex
+	// (Schedule.popMu) is what guards it across that window.
+	drain []DueEntry
+}
+
+// Schedule is the due-period scheduler behind O(due) ticking: a priority
+// queue of (Due, ID) pairs, one per live temporal query, ordered by due
+// time with ties broken by ascending id. Advancing the clock pops exactly
+// the queries whose next boundary has been reached — an idle tick peeks
+// the per-stripe heads and returns, independent of how many queries are
+// registered.
+//
+// The queue is striped: entries are partitioned by id across power-of-two
+// stripes, each a heap behind its own leaf lock, so re-arm Upserts from
+// parallel workers for different stripes never contend. PopDue restores
+// the global (due, id) order with a deterministic k-way merge over the
+// stripes' sorted due prefixes — output is element-wise identical for any
+// stripe count (TestScheduleStripedMatchesSingle pins this), which is what
+// keeps the service's delivery contract and digest pins stripe-blind.
+//
+// All methods are safe for concurrent use; stripe mutexes are leaf locks
+// (nothing else is acquired under them), and poppers serialize on popMu.
+type Schedule struct {
+	stripes []scheduleStripe
+	mask    uint32
+	// popMu serializes PopDue's drain-and-merge (and guards cursors), so
+	// concurrent poppers cannot interleave entries out of (due, id) order.
+	// Upsert and Remove never take it.
+	popMu   sync.Mutex
+	cursors []mergeCursor
+	// mergeDepth is the number of stripes that contributed entries to the
+	// most recent non-empty PopDue — the merge's fan-in, a balance signal.
+	mergeDepth atomic.Int64
+}
+
+// NewSchedule returns an empty single-stripe scheduler: the zero-contention
+// layout, and the baseline the striped property tests compare against.
+func NewSchedule() *Schedule {
+	return NewScheduleStriped(1)
+}
+
+// maxScheduleStripes bounds the stripe count: beyond the registry's own 64
+// stripes more partitions buy no concurrency, and the idle fast path scans
+// one atomic per stripe.
+const maxScheduleStripes = 64
+
+// NewScheduleStriped returns an empty scheduler with at least n stripes,
+// rounded up to a power of two and clamped to [1, 64]. Any stripe count
+// yields identical PopDue output; n only tunes lock contention.
+func NewScheduleStriped(n int) *Schedule {
+	p := 1
+	for p < n && p < maxScheduleStripes {
+		p <<= 1
+	}
+	s := &Schedule{stripes: make([]scheduleStripe, p), mask: uint32(p - 1)}
+	for i := range s.stripes {
+		s.stripes[i].pos = make(map[uint32]int)
+		s.stripes[i].head.Store(stripeEmpty)
+	}
+	return s
+}
+
+// StripeCount returns the number of stripes.
+func (s *Schedule) StripeCount() int { return len(s.stripes) }
+
+// stripeIndex maps a query id to its stripe. Exposed within the package so
+// the engine's batched re-arm can bucket by stripe without re-hashing.
+func (s *Schedule) stripeIndex(id uint32) int { return int(id & s.mask) }
+
+func (s *Schedule) stripeFor(id uint32) *scheduleStripe {
+	return &s.stripes[id&s.mask]
+}
+
+// Len returns the number of scheduled queries.
+func (s *Schedule) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.heap)
+		st.mu.Unlock()
+	}
+	return n
+}
+
 // Upsert schedules (or reschedules) query id's next boundary at due.
 func (s *Schedule) Upsert(id uint32, due sim.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if i, ok := s.pos[id]; ok {
-		old := s.heap[i].Due
-		s.heap[i].Due = due
-		if due < old {
-			s.siftUp(i)
-		} else if due > old {
-			s.siftDown(i)
-		}
-		return
-	}
-	s.heap = append(s.heap, DueEntry{ID: id, Due: due})
-	i := len(s.heap) - 1
-	s.pos[id] = i
-	s.siftUp(i)
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	st.upsert(id, due)
+	st.publishHead()
+	st.mu.Unlock()
 }
 
 // Remove drops query id from the schedule. Unknown ids are a no-op.
 func (s *Schedule) Remove(id uint32) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	i, ok := s.pos[id]
-	if !ok {
-		return
+	st := s.stripeFor(id)
+	st.mu.Lock()
+	if i, ok := st.pos[id]; ok {
+		st.removeAt(i)
+		st.publishHead()
 	}
-	s.removeAt(i)
+	st.mu.Unlock()
 }
 
 // NextDue peeks the earliest scheduled boundary without popping it. ok is
 // false when nothing is scheduled.
 func (s *Schedule) NextDue() (DueEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.heap) == 0 {
-		return DueEntry{}, false
+	var best DueEntry
+	found := false
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		if len(st.heap) > 0 && (!found || dueLess(st.heap[0], best)) {
+			best, found = st.heap[0], true
+		}
+		st.mu.Unlock()
 	}
-	return s.heap[0], true
+	return best, found
 }
 
 // PopDue removes and returns every entry with Due <= now, appended to buf
 // in ascending (Due, ID) order. Popped queries stay out of the schedule
 // until rescheduled (EvaluateDue re-arms a query at its next boundary), so
 // the caller owns driving each popped query forward. When nothing is due
-// the call is a peek: O(1), no allocation.
+// the call is a lock-free scan of the per-stripe heads: O(stripes), no
+// allocation — this is what keeps an idle Advance independent of the
+// subscriber count.
 func (s *Schedule) PopDue(now sim.Time, buf []DueEntry) []DueEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for len(s.heap) > 0 && s.heap[0].Due <= now {
-		buf = append(buf, s.heap[0])
-		s.removeAt(0)
+	due := false
+	for i := range s.stripes {
+		if s.stripes[i].head.Load() <= int64(now) {
+			due = true
+			break
+		}
+	}
+	if !due {
+		return buf
+	}
+
+	// Something is (or just was) due: drain each stripe's due prefix under
+	// its leaf lock, then merge the sorted runs back into one (due, id)
+	// stream. popMu serializes poppers and owns the drain/cursor scratch.
+	s.popMu.Lock()
+	defer s.popMu.Unlock()
+	cur := s.cursors[:0]
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.drain = st.drain[:0]
+		for len(st.heap) > 0 && st.heap[0].Due <= now {
+			st.drain = append(st.drain, st.heap[0])
+			st.removeAt(0)
+		}
+		st.publishHead()
+		st.mu.Unlock()
+		if len(st.drain) > 0 {
+			cur = append(cur, mergeCursor{entries: st.drain})
+		}
+	}
+	s.cursors = cur
+	if len(cur) == 0 {
+		// The due entry was popped or removed between the head scan and the
+		// drain (concurrent popper or Remove) — nothing left for us.
+		return buf
+	}
+	s.mergeDepth.Store(int64(len(cur)))
+	if len(cur) == 1 {
+		return append(buf, cur[0].entries...)
+	}
+	return mergeDue(cur, buf)
+}
+
+// ScheduleStats is a point-in-time snapshot of the striped scheduler.
+type ScheduleStats struct {
+	// Stripes is the stripe count; Len the total number of scheduled
+	// queries; StripeLens the per-stripe entry counts (balance).
+	Stripes    int
+	Len        int
+	StripeLens []int
+	// LastMergeDepth is how many stripes contributed entries to the most
+	// recent non-empty PopDue — the k of its k-way merge.
+	LastMergeDepth int
+}
+
+// Stats snapshots the scheduler. Each stripe is read under its own lock;
+// the snapshot is per-stripe consistent, not globally atomic.
+func (s *Schedule) Stats() ScheduleStats {
+	out := ScheduleStats{
+		Stripes:        len(s.stripes),
+		StripeLens:     make([]int, len(s.stripes)),
+		LastMergeDepth: int(s.mergeDepth.Load()),
+	}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		out.StripeLens[i] = len(st.heap)
+		st.mu.Unlock()
+		out.Len += out.StripeLens[i]
+	}
+	return out
+}
+
+// mergeCursor is one stripe's sorted due run inside PopDue's k-way merge.
+type mergeCursor struct {
+	entries []DueEntry
+	next    int
+}
+
+// mergeDue merges the cursors' sorted runs into buf in (due, id) order via
+// a binary heap of cursors — O(total · log k) for k contributing stripes.
+// Caller holds popMu (the cursors alias stripe drain scratch).
+func mergeDue(cur []mergeCursor, buf []DueEntry) []DueEntry {
+	less := func(a, b *mergeCursor) bool {
+		return dueLess(a.entries[a.next], b.entries[b.next])
+	}
+	sift := func(i, n int) {
+		for {
+			min := i
+			if l := 2*i + 1; l < n && less(&cur[l], &cur[min]) {
+				min = l
+			}
+			if r := 2*i + 2; r < n && less(&cur[r], &cur[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			cur[i], cur[min] = cur[min], cur[i]
+			i = min
+		}
+	}
+	n := len(cur)
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(i, n)
+	}
+	for n > 0 {
+		c := &cur[0]
+		buf = append(buf, c.entries[c.next])
+		c.next++
+		if c.next == len(c.entries) {
+			cur[0] = cur[n-1]
+			n--
+		}
+		sift(0, n)
 	}
 	return buf
 }
 
-// removeAt deletes the entry at heap index i. Caller holds s.mu.
-func (s *Schedule) removeAt(i int) {
-	last := len(s.heap) - 1
-	delete(s.pos, s.heap[i].ID)
-	if i != last {
-		moved := s.heap[last]
-		s.heap[i] = moved
-		s.pos[moved.ID] = i
+// publishHead republishes the stripe's minimum due for the lock-free idle
+// scan. Caller holds st.mu.
+func (st *scheduleStripe) publishHead() {
+	if len(st.heap) == 0 {
+		st.head.Store(stripeEmpty)
+		return
 	}
-	s.heap = s.heap[:last]
+	st.head.Store(int64(st.heap[0].Due))
+}
+
+// upsert schedules (or reschedules) id at due within this stripe. Caller
+// holds st.mu and republishes the head afterwards — batched re-arms upsert
+// many entries under one lock hold and publish once.
+func (st *scheduleStripe) upsert(id uint32, due sim.Time) {
+	if i, ok := st.pos[id]; ok {
+		old := st.heap[i].Due
+		st.heap[i].Due = due
+		if due < old {
+			st.siftUp(i)
+		} else if due > old {
+			st.siftDown(i)
+		}
+		return
+	}
+	st.heap = append(st.heap, DueEntry{ID: id, Due: due})
+	i := len(st.heap) - 1
+	st.pos[id] = i
+	st.siftUp(i)
+}
+
+// removeAt deletes the entry at heap index i. Caller holds st.mu.
+func (st *scheduleStripe) removeAt(i int) {
+	last := len(st.heap) - 1
+	delete(st.pos, st.heap[i].ID)
+	if i != last {
+		moved := st.heap[last]
+		st.heap[i] = moved
+		st.pos[moved.ID] = i
+	}
+	st.heap = st.heap[:last]
 	if i < last {
 		// The displaced entry may belong above or below its new slot.
-		s.siftDown(i)
-		s.siftUp(i)
+		st.siftDown(i)
+		st.siftUp(i)
 	}
 }
 
 // arity is the heap branching factor.
 const arity = 4
 
-func (s *Schedule) siftUp(i int) {
-	e := s.heap[i]
+func (st *scheduleStripe) siftUp(i int) {
+	e := st.heap[i]
 	for i > 0 {
 		parent := (i - 1) / arity
-		if !s.less(e, s.heap[parent]) {
+		if !dueLess(e, st.heap[parent]) {
 			break
 		}
-		s.heap[i] = s.heap[parent]
-		s.pos[s.heap[i].ID] = i
+		st.heap[i] = st.heap[parent]
+		st.pos[st.heap[i].ID] = i
 		i = parent
 	}
-	s.heap[i] = e
-	s.pos[e.ID] = i
+	st.heap[i] = e
+	st.pos[e.ID] = i
 }
 
-func (s *Schedule) siftDown(i int) {
-	n := len(s.heap)
-	e := s.heap[i]
+func (st *scheduleStripe) siftDown(i int) {
+	n := len(st.heap)
+	e := st.heap[i]
 	for {
 		first := i*arity + 1
 		if first >= n {
@@ -164,17 +375,17 @@ func (s *Schedule) siftDown(i int) {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if s.less(s.heap[c], s.heap[min]) {
+			if dueLess(st.heap[c], st.heap[min]) {
 				min = c
 			}
 		}
-		if !s.less(s.heap[min], e) {
+		if !dueLess(st.heap[min], e) {
 			break
 		}
-		s.heap[i] = s.heap[min]
-		s.pos[s.heap[i].ID] = i
+		st.heap[i] = st.heap[min]
+		st.pos[st.heap[i].ID] = i
 		i = min
 	}
-	s.heap[i] = e
-	s.pos[e.ID] = i
+	st.heap[i] = e
+	st.pos[e.ID] = i
 }

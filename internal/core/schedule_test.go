@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -221,6 +223,164 @@ func TestScheduleConcurrentChurn(t *testing.T) {
 	}
 }
 
+// TestScheduleStripedMatchesSingle is the striping property test: over 10k
+// randomized upsert/remove/pop interleavings, every striped layout must
+// produce element-wise identical PopDue output (and identical Len) to the
+// single-stripe baseline. This is the determinism argument the service's
+// digest pins rest on — stripe count is a pure concurrency knob.
+func TestScheduleStripedMatchesSingle(t *testing.T) {
+	if got := NewScheduleStriped(3).StripeCount(); got != 4 {
+		t.Fatalf("StripeCount(3 requested) = %d, want rounded up to 4", got)
+	}
+	if got := NewScheduleStriped(1000).StripeCount(); got != maxScheduleStripes {
+		t.Fatalf("StripeCount(1000 requested) = %d, want clamp %d", got, maxScheduleStripes)
+	}
+	rng := rand.New(rand.NewSource(11))
+	single := NewSchedule()
+	striped := []*Schedule{NewScheduleStriped(4), NewScheduleStriped(16), NewScheduleStriped(64)}
+	all := append([]*Schedule{single}, striped...)
+
+	const idSpace = 512
+	now := sim.Time(0)
+	var want, got []DueEntry
+	for op := 0; op < 10_000; op++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			id := uint32(1 + rng.Intn(idSpace))
+			due := now + sim.Time(rng.Int63n(int64(10*time.Second)))
+			for _, s := range all {
+				s.Upsert(id, due)
+			}
+		case 2:
+			id := uint32(1 + rng.Intn(idSpace))
+			for _, s := range all {
+				s.Remove(id)
+			}
+		default:
+			now += sim.Time(rng.Int63n(int64(3 * time.Second)))
+			want = single.PopDue(now, want[:0])
+			for _, s := range striped {
+				got = s.PopDue(now, got[:0])
+				if len(got) != len(want) {
+					t.Fatalf("op %d: %d stripes popped %d entries, single-heap popped %d",
+						op, s.StripeCount(), len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("op %d: %d stripes popped %v at %d, single-heap %v",
+							op, s.StripeCount(), got[i], i, want[i])
+					}
+				}
+				if len(want) > 0 {
+					st := s.Stats()
+					if st.LastMergeDepth < 1 || st.LastMergeDepth > s.StripeCount() {
+						t.Fatalf("op %d: merge depth %d outside [1, %d]", op, st.LastMergeDepth, s.StripeCount())
+					}
+				}
+			}
+		}
+		if op%1000 == 0 {
+			for _, s := range striped {
+				if s.Len() != single.Len() {
+					t.Fatalf("op %d: %d stripes hold %d entries, single-heap %d",
+						op, s.StripeCount(), s.Len(), single.Len())
+				}
+			}
+		}
+	}
+	// Final drain: whatever is left must come out identically too.
+	far := sim.Time(1000 * time.Hour)
+	want = single.PopDue(far, want[:0])
+	for _, s := range striped {
+		got = s.PopDue(far, got[:0])
+		if len(got) != len(want) {
+			t.Fatalf("final drain: %d stripes popped %d, single-heap %d", s.StripeCount(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("final drain: entry %d = %v, single-heap %v", i, got[i], want[i])
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("property test degenerated: nothing left to drain")
+	}
+}
+
+// TestScheduleStripedConcurrentChurn hammers a striped schedule directly
+// from many goroutines — upserts, removes, pops, peeks, and stats on
+// overlapping id ranges spanning every stripe — then checks the quiesced
+// invariants: a draining pop is sorted, duplicate-free, agrees with Stats,
+// and empties the schedule. Under -race this is the scheduler's
+// cross-stripe race test (the engine-level TestScheduleConcurrentChurn
+// covers the registry integration).
+func TestScheduleStripedConcurrentChurn(t *testing.T) {
+	s := NewScheduleStriped(8)
+	const (
+		goroutines = 8
+		perG       = 2000
+		idSpace    = 256 // spans every stripe; overlap forces contention
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			var buf []DueEntry
+			for i := 0; i < perG; i++ {
+				id := uint32(1 + rng.Intn(idSpace))
+				now := sim.Time(rng.Int63n(int64(time.Minute)))
+				switch rng.Intn(6) {
+				case 0, 1, 2:
+					s.Upsert(id, now+sim.Time(rng.Int63n(int64(time.Second))))
+				case 3:
+					s.Remove(id)
+				case 4:
+					buf = s.PopDue(now, buf[:0])
+					for _, de := range buf {
+						// Re-arm popped entries as a clock driver would.
+						s.Upsert(de.ID, de.Due+sim.Time(time.Second))
+					}
+				case 5:
+					s.NextDue()
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Len != s.Len() {
+		t.Fatalf("Stats().Len = %d, Len() = %d", st.Len, s.Len())
+	}
+	sum := 0
+	for _, n := range st.StripeLens {
+		sum += n
+	}
+	if sum != st.Len {
+		t.Fatalf("stripe lens sum to %d, Len is %d", sum, st.Len)
+	}
+	popped := s.PopDue(sim.Time(1000*time.Hour), nil)
+	if len(popped) != st.Len {
+		t.Fatalf("draining pop returned %d entries, schedule held %d", len(popped), st.Len)
+	}
+	seen := make(map[uint32]bool, len(popped))
+	for i, de := range popped {
+		if i > 0 && !dueLess(popped[i-1], de) {
+			t.Fatalf("drain order violated at %d: %v then %v", i, popped[i-1], de)
+		}
+		if seen[de.ID] {
+			t.Fatalf("id %d popped twice", de.ID)
+		}
+		seen[de.ID] = true
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("schedule holds %d entries after full drain", n)
+	}
+}
+
 // BenchmarkSchedulePopIdle measures the idle-tick cost with 100k queries
 // scheduled and nothing due: the peek that makes Advance O(1).
 func BenchmarkSchedulePopIdle(b *testing.B) {
@@ -256,6 +416,52 @@ func BenchmarkScheduleScanBaseline(b *testing.B) {
 		}
 		if n != 0 {
 			b.Fatal("nothing should be due")
+		}
+	}
+}
+
+// BenchmarkScheduleContended measures the striping payoff under parallel
+// load: GOMAXPROCS goroutines hammer Upsert (the re-arm pattern of parallel
+// EvaluateDue workers) with a PopDue-and-re-arm cycle mixed in, over 100k
+// and 1M resident entries at stripe counts 1, 4, and 16. On one core the
+// stripe counts tie (the mutex is never contended); the spread between
+// stripes=1 and stripes=16 on a multicore box is the serialization the
+// striped scheduler removes.
+func BenchmarkScheduleContended(b *testing.B) {
+	for _, entries := range []int{100_000, 1_000_000} {
+		for _, stripes := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("entries=%d/stripes=%d", entries, stripes), func(b *testing.B) {
+				s := NewScheduleStriped(stripes)
+				if s.StripeCount() != stripes {
+					b.Fatalf("stripe count %d, want %d", s.StripeCount(), stripes)
+				}
+				// Entry id hashing spreads ids across stripes; dues start
+				// one hour out so the population stays resident.
+				base := sim.Time(time.Hour)
+				for id := 1; id <= entries; id++ {
+					s.Upsert(uint32(id), base+sim.Time(id))
+				}
+				var ctr atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					var buf []DueEntry
+					for pb.Next() {
+						i := ctr.Add(1)
+						// Re-arm a pseudo-random resident entry further out.
+						id := uint32(1 + (uint64(i)*2654435761)%uint64(entries))
+						s.Upsert(id, base+sim.Time(i)+sim.Time(entries))
+						if i%1024 == 0 {
+							// A popper sweeps anything the re-arms left due
+							// and re-arms it, like an Advance batch would.
+							buf = s.PopDue(base+sim.Time(i), buf[:0])
+							for _, de := range buf {
+								s.Upsert(de.ID, de.Due+sim.Time(entries))
+							}
+						}
+					}
+				})
+			})
 		}
 	}
 }

@@ -368,6 +368,23 @@ func (e *QueryEngine) NextDue(queryID uint32) (k int, due sim.Time, ok bool) {
 // Calls for distinct queries proceed in parallel; calls for one query are
 // serialized and advance its period counter exactly once each.
 func (e *QueryEngine) EvaluateDue(queryID uint32, now sim.Time) (WindowResult, bool) {
+	return e.evaluateDue(queryID, now, nil)
+}
+
+// EvaluateDueBatch is EvaluateDue with the schedule re-arm deferred into rb
+// instead of taking the schedule stripe lock per call: a worker draining a
+// due batch accumulates its re-arms and the driver flushes them once per
+// stripe with FlushRearms after the batch completes. Between the evaluation
+// and the flush the query is absent from the schedule — identical to the
+// window EvaluateDue itself has between pop and re-arm, just longer — and
+// NextDue (computed from temporal state, not the schedule) still reports
+// the following boundary, so drain loops are unaffected. rb must be
+// flushed before the next PopDue that should see these boundaries.
+func (e *QueryEngine) EvaluateDueBatch(queryID uint32, now sim.Time, rb *RearmBatch) (WindowResult, bool) {
+	return e.evaluateDue(queryID, now, rb)
+}
+
+func (e *QueryEngine) evaluateDue(queryID uint32, now sim.Time, rb *RearmBatch) (WindowResult, bool) {
 	q := e.temporal(queryID)
 	if q == nil {
 		return WindowResult{}, false
@@ -418,16 +435,24 @@ func (e *QueryEngine) EvaluateDue(queryID uint32, now sim.Time) (WindowResult, b
 		t.late++
 	}
 	// Re-arm the due-period schedule at the next boundary so PopDue keeps
-	// handing this query out exactly when a period is due — but only if q
+	// handing this query out exactly when a period is due. Batched callers
+	// only record the boundary here; FlushRearms applies it later under the
+	// schedule stripe lock, skipping queries whose dead flag a Deregister
+	// set in the meantime. The immediate path re-arms now — but only if q
 	// is still the registered query: a Deregister (or Deregister plus
 	// re-register of the same id) that raced this evaluation owns the
 	// schedule entry now, and re-arming at our stale boundary would
 	// resurrect a removed entry or clobber the new registration's. The
 	// stripe read lock excludes both (they write under the stripe lock).
+	next := t.t0 + sim.Time(t.nextK)*t.spec.Period
+	if rb != nil {
+		rb.add(q, next, e.sched.stripeIndex(q.id))
+		return res, true
+	}
 	st := e.stripe(q.id)
 	st.mu.RLock()
 	if st.queries[q.id] == q {
-		e.sched.Upsert(q.id, t.t0+sim.Time(t.nextK)*t.spec.Period)
+		e.sched.Upsert(q.id, next)
 	}
 	st.mu.RUnlock()
 	return res, true

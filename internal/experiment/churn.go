@@ -233,8 +233,7 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 	if liveCount > res.PeakLive {
 		res.PeakLive = liveCount
 	}
-	var due []core.DueEntry
-	dueUsers := make([]*churnUser, 0, len(users))
+	pump := newDuePump(eng, byID)
 	for t := cfg.Tick; t <= cfg.Duration; t += cfg.Tick {
 		// Membership changes first: arrivals register with periods counted
 		// from their join tick, departures free their ids immediately.
@@ -259,47 +258,30 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 		if liveCount > res.PeakLive {
 			res.PeakLive = liveCount
 		}
-		// Only users with a period actually due this tick are touched: the
-		// engine's due-period schedule pops them in (due, id) order, so a
-		// tick on which nothing is due (most of them, at Tick << Period)
-		// costs O(1) instead of a scan over the live population. Each
-		// popped user's due periods are then drained on a worker; per-user
-		// evaluation is a pure function of the node field and that user's
-		// course, so the fan-out cannot change results.
-		due = eng.PopDue(t, due[:0])
-		if len(due) == 0 {
-			continue
-		}
-		dueUsers = dueUsers[:0]
-		for _, de := range due {
-			dueUsers = append(dueUsers, byID[de.ID])
-		}
-		eng.Dispatch(len(dueUsers), func(i int) {
-			u := dueUsers[i]
-			for {
-				_, due, ok := eng.NextDue(u.id)
-				if !ok || due > t {
-					return
-				}
-				eng.UpdateWaypoint(u.id, u.posAt(region, due))
-				wr, ok := eng.EvaluateDue(u.id, t)
-				if !ok {
-					return
-				}
-				u.evals++
-				u.fresh += wr.Data.Count
-				u.stale += wr.StaleNodes
-				if wr.Late {
-					u.late++
-				}
-				// Per-user fold is ordered (periods are); the cross-user
-				// fold below is a wrapping sum, so worker finish order
-				// cannot leak into the digest.
-				u.digest = u.digest*1099511628211 ^ uint64(wr.K)
-				u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Value(core.AggAvg))
-				u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
+		// Only users with a period actually due this tick are touched
+		// (duePump pops them in (due, id) order and drains each on a
+		// worker); per-user evaluation is a pure function of the node field
+		// and that user's course, so the fan-out cannot change results.
+		pump.tick(t, func(u *churnUser, id uint32, boundary sim.Time) bool {
+			eng.UpdateWaypoint(id, u.posAt(region, boundary))
+			wr, ok := eng.EvaluateDue(id, t)
+			if !ok {
+				return false
 			}
+			u.evals++
+			u.fresh += wr.Data.Count
+			u.stale += wr.StaleNodes
+			if wr.Late {
+				u.late++
+			}
+			// Per-user fold is ordered (periods are); the cross-user
+			// fold below is a wrapping sum, so worker finish order
+			// cannot leak into the digest.
+			u.digest = u.digest*1099511628211 ^ uint64(wr.K)
+			u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Value(core.AggAvg))
+			u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
+			return true
 		})
 	}
 

@@ -410,75 +410,60 @@ func runCorridorPass(cfg CorridorConfig, arm corridorArm, region geom.Rect,
 		}
 	}
 
-	var due []core.DueEntry
-	dueUsers := make([]*corridorUser, 0, len(users))
+	pump := newDuePump(eng, byID)
 	for t := cfg.Tick; t <= cfg.Duration; t += cfg.Tick {
-		due = eng.PopDue(t, due[:0])
-		if len(due) == 0 {
-			continue
-		}
-		dueUsers = dueUsers[:0]
-		for _, de := range due {
-			dueUsers = append(dueUsers, byID[de.ID])
-		}
 		// Each user's evaluation depends only on the shared field and
 		// their own course, streams, plan, and cache — the worker fan-out
 		// cannot change results.
-		eng.Dispatch(len(dueUsers), func(i int) {
-			u := dueUsers[i]
-			for {
-				_, nextDue, ok := eng.NextDue(u.id)
-				if !ok || nextDue > t {
-					return
-				}
-				if u.planner != nil {
-					u.pump(nextDue)
-				}
-				eng.UpdateWaypoint(u.id, u.course.PosAt(nextDue))
-				evalStart := time.Now()
-				wr, ok := eng.EvaluateDue(u.id, t)
-				evalNs := time.Since(evalStart).Nanoseconds()
-				if !ok {
-					return
-				}
-				u.evals++
-				u.stale += wr.StaleNodes
-				u.prefetched += wr.Prefetched
-				u.stalenessSum += wr.MaxStaleness
-				if wr.Late {
-					u.late++
-				}
-				if wr.Warmup {
-					u.warm++
-				}
-				if wr.CorridorHit {
-					u.hits++
-					u.warmNs += evalNs
-				} else {
-					u.cold++
-					u.coldNs += evalNs
-				}
-				if u.planner != nil {
-					u.planner.NoteServed(wr.Prefetched)
-				}
-				if u.cache != nil {
-					if mpAt, _, ok := u.cache.TakeMispredict(); ok {
-						u.mispredicts++
-						prof := u.truthProfile(mpAt, cfg.Period)
-						u.planner.Replan(prof, mpAt)
-						u.cache.SetProfile(prof, mpAt)
-					}
-					u.cache.StageThrough(wr.Due)
-				}
-				u.digest = u.digest*1099511628211 ^ uint64(wr.K)
-				u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Value(core.AggAvg))
-				u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.Prefetched)
-				if wr.Warmup {
-					u.digest = u.digest*1099511628211 ^ 1
-				}
+		pump.tick(t, func(u *corridorUser, id uint32, nextDue sim.Time) bool {
+			if u.planner != nil {
+				u.pump(nextDue)
 			}
+			eng.UpdateWaypoint(id, u.course.PosAt(nextDue))
+			evalStart := time.Now()
+			wr, ok := eng.EvaluateDue(id, t)
+			evalNs := time.Since(evalStart).Nanoseconds()
+			if !ok {
+				return false
+			}
+			u.evals++
+			u.stale += wr.StaleNodes
+			u.prefetched += wr.Prefetched
+			u.stalenessSum += wr.MaxStaleness
+			if wr.Late {
+				u.late++
+			}
+			if wr.Warmup {
+				u.warm++
+			}
+			if wr.CorridorHit {
+				u.hits++
+				u.warmNs += evalNs
+			} else {
+				u.cold++
+				u.coldNs += evalNs
+			}
+			if u.planner != nil {
+				u.planner.NoteServed(wr.Prefetched)
+			}
+			if u.cache != nil {
+				if mpAt, _, ok := u.cache.TakeMispredict(); ok {
+					u.mispredicts++
+					prof := u.truthProfile(mpAt, cfg.Period)
+					u.planner.Replan(prof, mpAt)
+					u.cache.SetProfile(prof, mpAt)
+				}
+				u.cache.StageThrough(wr.Due)
+			}
+			u.digest = u.digest*1099511628211 ^ uint64(wr.K)
+			u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Value(core.AggAvg))
+			u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.Prefetched)
+			if wr.Warmup {
+				u.digest = u.digest*1099511628211 ^ 1
+			}
+			return true
 		})
 	}
 

@@ -284,8 +284,7 @@ func runPrefetchPass(cfg PrefetchConfig, strat prefetch.Strategy, region geom.Re
 	}
 	replansDone := 0
 
-	var due []core.DueEntry
-	dueUsers := make([]*prefetchUser, 0, len(users))
+	pump := newDuePump(eng, byID)
 	for t := cfg.Tick; t <= cfg.Duration; t += cfg.Tick {
 		if replanEvery > 0 && replansDone < cfg.Replans && t >= sim.Time(replansDone+1)*replanEvery {
 			replansDone++
@@ -300,53 +299,39 @@ func runPrefetchPass(cfg PrefetchConfig, strat prefetch.Strategy, region geom.Re
 		// are touched, and each user's evaluation is a pure function of the
 		// shared field and their own course and plan — the worker fan-out
 		// cannot change results.
-		due = eng.PopDue(t, due[:0])
-		if len(due) == 0 {
-			continue
-		}
-		dueUsers = dueUsers[:0]
-		for _, de := range due {
-			dueUsers = append(dueUsers, byID[de.ID])
-		}
-		eng.Dispatch(len(dueUsers), func(i int) {
-			u := dueUsers[i]
-			for {
-				_, nextDue, ok := eng.NextDue(u.id)
-				if !ok || nextDue > t {
-					return
-				}
-				eng.UpdateWaypoint(u.id, u.posAt(nextDue))
-				wr, ok := eng.EvaluateDue(u.id, t)
-				if !ok {
-					return
-				}
-				u.evals++
-				u.stale += wr.StaleNodes
-				u.prefetched += wr.Prefetched
-				if u.planner != nil {
-					u.planner.NoteServed(wr.Prefetched)
-				}
-				u.stalenessSum += wr.MaxStaleness
-				if wr.Late {
-					u.late++
-				}
-				if wr.Warmup {
-					u.warm++
-				}
-				if u.planner != nil {
-					if out := u.planner.Outstanding(wr.Due); out > u.peakOut {
-						u.peakOut = out
-					}
-				}
-				u.digest = u.digest*1099511628211 ^ uint64(wr.K)
-				u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Value(core.AggAvg))
-				u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.Prefetched)
-				if wr.Warmup {
-					u.digest = u.digest*1099511628211 ^ 1
+		pump.tick(t, func(u *prefetchUser, id uint32, nextDue sim.Time) bool {
+			eng.UpdateWaypoint(id, u.posAt(nextDue))
+			wr, ok := eng.EvaluateDue(id, t)
+			if !ok {
+				return false
+			}
+			u.evals++
+			u.stale += wr.StaleNodes
+			u.prefetched += wr.Prefetched
+			if u.planner != nil {
+				u.planner.NoteServed(wr.Prefetched)
+			}
+			u.stalenessSum += wr.MaxStaleness
+			if wr.Late {
+				u.late++
+			}
+			if wr.Warmup {
+				u.warm++
+			}
+			if u.planner != nil {
+				if out := u.planner.Outstanding(wr.Due); out > u.peakOut {
+					u.peakOut = out
 				}
 			}
+			u.digest = u.digest*1099511628211 ^ uint64(wr.K)
+			u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Value(core.AggAvg))
+			u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.Prefetched)
+			if wr.Warmup {
+				u.digest = u.digest*1099511628211 ^ 1
+			}
+			return true
 		})
 	}
 

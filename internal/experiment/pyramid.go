@@ -296,59 +296,44 @@ func runPyramidPass(cfg PyramidConfig, arm pyramidArm, region geom.Rect,
 		}
 	}
 
-	var due []core.DueEntry
-	dueUsers := make([]*pyramidUser, 0, len(users))
+	pump := newDuePump(eng, byID)
 	for t := cfg.Tick; t <= cfg.Duration; t += cfg.Tick {
-		due = eng.PopDue(t, due[:0])
-		if len(due) == 0 {
-			continue
-		}
-		dueUsers = dueUsers[:0]
-		for _, de := range due {
-			dueUsers = append(dueUsers, byID[de.ID])
-		}
 		// Each user's evaluation depends only on the shared field and their
 		// own course; epoch ingest is cooperative, so the fan-out cannot
 		// change results.
-		eng.Dispatch(len(dueUsers), func(i int) {
-			u := dueUsers[i]
-			for {
-				_, nextDue, ok := eng.NextDue(u.id)
-				if !ok || nextDue > t {
-					return
-				}
-				if pyr != nil {
-					pyr.EnsureEpoch(nextDue)
-				}
-				eng.UpdateWaypoint(u.id, u.course.PosAt(nextDue))
-				wr, ok := eng.EvaluateDue(u.id, t)
-				if !ok {
-					return
-				}
-				u.evals++
-				u.stale += wr.StaleNodes
-				u.stalenessSum += wr.MaxStaleness
-				if wr.Late {
-					u.late++
-				}
-				if wr.PyramidHit {
-					u.hits++
-				} else {
-					u.cold++
-				}
-				// Every value a subscriber could observe — and never the
-				// serve route, which must not change them.
-				u.digest = u.digest*1099511628211 ^ uint64(wr.K)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.Data.Count)
-				u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Sum)
-				u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Min)
-				u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Max)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.AreaNodes)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.StaleNodes)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
-				u.digest = u.digest*1099511628211 ^ uint64(wr.WindowPeriods)
+		pump.tick(t, func(u *pyramidUser, id uint32, nextDue sim.Time) bool {
+			if pyr != nil {
+				pyr.EnsureEpoch(nextDue)
 			}
+			eng.UpdateWaypoint(id, u.course.PosAt(nextDue))
+			wr, ok := eng.EvaluateDue(id, t)
+			if !ok {
+				return false
+			}
+			u.evals++
+			u.stale += wr.StaleNodes
+			u.stalenessSum += wr.MaxStaleness
+			if wr.Late {
+				u.late++
+			}
+			if wr.PyramidHit {
+				u.hits++
+			} else {
+				u.cold++
+			}
+			// Every value a subscriber could observe — and never the
+			// serve route, which must not change them.
+			u.digest = u.digest*1099511628211 ^ uint64(wr.K)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.Data.Count)
+			u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Sum)
+			u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Min)
+			u.digest = u.digest*1099511628211 ^ math.Float64bits(wr.Data.Max)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.AreaNodes)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.StaleNodes)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.MaxStaleness)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.Lateness)
+			u.digest = u.digest*1099511628211 ^ uint64(wr.WindowPeriods)
+			return true
 		})
 	}
 

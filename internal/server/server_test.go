@@ -129,6 +129,38 @@ func TestHealthAndStats(t *testing.T) {
 	if st.Nodes != 300 || st.Opened != 0 || st.Draining {
 		t.Errorf("stats %+v", st)
 	}
+	if st.SchedStripes < 1 || st.SchedLen != 0 {
+		t.Errorf("empty service scheduler stats %+v", st)
+	}
+
+	// One live subscription means one scheduled period, and the striped
+	// scheduler's shape survives the wire round trip.
+	_, _, done := h.subscribe(t, context.Background(), wire.SubscribeRequest{
+		Spec:   testSpec(),
+		Motion: wire.Motion{Kind: "static", XM: 225, YM: 225},
+	})
+	defer done()
+	resp, err = http.Get(h.ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	st = wire.ServiceStats{}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	resp.Body.Close()
+	if st.Subscribers != 1 || st.SchedLen != 1 {
+		t.Errorf("scheduler stats after subscribe %+v", st)
+	}
+	if sum := 0; true {
+		for _, n := range st.SchedStripeLens {
+			sum += n
+		}
+		if len(st.SchedStripeLens) != st.SchedStripes || sum != st.SchedLen {
+			t.Errorf("stripe lens %v inconsistent with stripes=%d len=%d",
+				st.SchedStripeLens, st.SchedStripes, st.SchedLen)
+		}
+	}
 }
 
 func TestSubscribeStreamsResultsAndEndFrame(t *testing.T) {

@@ -283,6 +283,13 @@ type ServiceStats struct {
 	Delivered   uint64 `json:"delivered"`
 	Dropped     uint64 `json:"dropped"`
 	Late        uint64 `json:"late"`
+
+	// Scheduler shape: stripe count, total scheduled periods, per-stripe
+	// occupancy, and the width of the last PopDue merge.
+	SchedStripes    int   `json:"sched_stripes"`
+	SchedLen        int   `json:"sched_len"`
+	SchedStripeLens []int `json:"sched_stripe_lens,omitempty"`
+	SchedMergeDepth int   `json:"sched_merge_depth"`
 }
 
 // FromServiceStats renders the service ledger for the wire.
@@ -297,6 +304,11 @@ func FromServiceStats(st mobiquery.ServiceStats) ServiceStats {
 		Delivered:   st.Delivered,
 		Dropped:     st.Dropped,
 		Late:        st.Late,
+
+		SchedStripes:    st.SchedStripes,
+		SchedLen:        st.SchedLen,
+		SchedStripeLens: st.SchedStripeLens,
+		SchedMergeDepth: st.SchedMergeDepth,
 	}
 }
 

@@ -1,11 +1,9 @@
 package mobiquery
 
 import (
-	"cmp"
 	"context"
 	"fmt"
 	"math/rand"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -162,11 +160,16 @@ type Service struct {
 	// advMu serializes Advance calls (the clock moves one step at a time)
 	// and guards the scratch buffers below, which are reused across steps
 	// so a steady-state Advance allocates nothing on the scheduling path.
-	advMu sync.Mutex
-	due   []core.DueEntry
-	batch []*Subscription
-	outs  [][]pendingResult
-	flat  []pendingResult
+	// rearms holds one schedule re-arm batch per dispatch worker (created
+	// on the first non-empty step); lanes and cur are the delivery merge's
+	// cursor heap and per-lane positions.
+	advMu  sync.Mutex
+	due    []core.DueEntry
+	batch  []*Subscription
+	outs   [][]pendingResult
+	rearms []*core.RearmBatch
+	lanes  []int
+	cur    []int
 }
 
 // Open stands up a Service over the configured sensor field. Configuration
@@ -395,6 +398,15 @@ type ServiceStats struct {
 	PyramidClasses int
 	PyramidServes  uint64
 	PyramidBuilds  uint64
+	// SchedStripes is the due-period scheduler's stripe count and SchedLen
+	// its armed-entry total; SchedStripeLens breaks SchedLen down per
+	// stripe (balance under load), and SchedMergeDepth is how many stripes
+	// contributed to the most recent non-empty due batch — the k of its
+	// k-way delivery merge.
+	SchedStripes    int
+	SchedLen        int
+	SchedStripeLens []int
+	SchedMergeDepth int
 }
 
 // Stats returns the service-wide delivery ledger. Like Subscribers it
@@ -419,6 +431,11 @@ func (s *Service) Stats() ServiceStats {
 	st.PyramidClasses = classes
 	st.PyramidServes = ps.Served
 	st.PyramidBuilds = ps.Builds
+	ss := s.engine.ScheduleStats()
+	st.SchedStripes = ss.Stripes
+	st.SchedLen = ss.Len
+	st.SchedStripeLens = ss.StripeLens
+	st.SchedMergeDepth = ss.LastMergeDepth
 	return st
 }
 
@@ -429,14 +446,16 @@ func (s *Service) Stats() ServiceStats {
 // stalled — is delivered marked late. Advance is exactly reproducible:
 // the same configuration and call sequence yields the same results.
 //
-// The cost of a step is O(due): the engine's due-period schedule hands
-// back exactly the subscriptions with a period boundary at or before the
-// new time, so a tick on which nothing is due returns in constant time no
-// matter how many subscribers are idle. Due subscriptions are evaluated
+// The cost of a step is O(due): the engine's striped due-period schedule
+// hands back exactly the subscriptions with a period boundary at or before
+// the new time, so a tick on which nothing is due returns in constant time
+// no matter how many subscribers are idle. Due subscriptions are evaluated
 // in parallel across the engine's worker pool (waypoint update plus
-// freshness-windowed evaluation per period); the finished batch is then
-// merged and delivered serially in ascending (deadline, id) order, so
-// results are byte-identical whatever the Shards/Workers configuration.
+// freshness-windowed evaluation per period), with each worker batching its
+// schedule re-arms and flushing them once per stripe; the finished lanes
+// are then streaming-merged and delivered serially in ascending
+// (deadline, id) order, so results are byte-identical whatever the
+// Shards/Workers configuration.
 func (s *Service) Advance(d time.Duration) error {
 	if d < 0 {
 		return fmt.Errorf("mobiquery: cannot advance time backwards (%v)", d)
@@ -471,34 +490,88 @@ func (s *Service) Advance(d time.Duration) error {
 	s.mu.RUnlock()
 
 	// Fan the due subscriptions across the worker pool. Each worker drains
-	// every period of its subscription due by now into a private buffer;
-	// subscriptions are independent, so the fan-out cannot change results.
+	// every period of its subscription due by now into a private buffer and
+	// accumulates its schedule re-arms in a private batch; subscriptions
+	// are independent, so the fan-out cannot change results.
 	if len(s.outs) < len(s.batch) {
 		s.outs = append(s.outs, make([][]pendingResult, len(s.batch)-len(s.outs))...)
 	}
-	outs, batch := s.outs[:len(s.batch)], s.batch
-	s.engine.Dispatch(len(batch), func(i int) {
-		outs[i] = batch[i].collectDue(now, outs[i][:0])
-	})
-
-	// Merge and deliver serially in deterministic (deadline, id) order.
-	s.flat = s.flat[:0]
-	for i := range outs {
-		s.flat = append(s.flat, outs[i]...)
-	}
-	slices.SortFunc(s.flat, func(a, b pendingResult) int {
-		if a.due != b.due {
-			return cmp.Compare(a.due, b.due)
+	if s.rearms == nil {
+		s.rearms = make([]*core.RearmBatch, s.engine.Workers())
+		for i := range s.rearms {
+			s.rearms[i] = s.engine.NewRearmBatch()
 		}
-		return cmp.Compare(a.sub.id, b.sub.id)
+	}
+	outs, batch := s.outs[:len(s.batch)], s.batch
+	rearms := s.rearms
+	s.engine.DispatchWorkers(len(batch), func(worker, i int) {
+		outs[i] = batch[i].collectDue(now, outs[i][:0], rearms[worker])
 	})
-	for i := range s.flat {
-		p := &s.flat[i]
+	// Flush the workers' deferred re-arms, one schedule stripe lock hold
+	// per stripe per worker, so the next PopDue sees every next boundary.
+	for _, rb := range rearms {
+		s.engine.FlushRearms(rb)
+	}
+
+	// Deliver serially in deterministic (deadline, id) order — the same
+	// total order the old collect-then-sort produced, but as a streaming
+	// k-way merge: PopDue hands subscriptions out in (due, id) order and
+	// each one drains its periods in ascending due, so every worker output
+	// lane is already sorted and a cursor heap over the non-empty lanes
+	// restores the global order in O(results · log lanes).
+	if len(s.cur) < len(batch) {
+		s.cur = append(s.cur, make([]int, len(batch)-len(s.cur))...)
+	}
+	cur := s.cur[:len(batch)]
+	s.lanes = s.lanes[:0]
+	for i := range outs {
+		cur[i] = 0
+		if len(outs[i]) > 0 {
+			s.lanes = append(s.lanes, i)
+		}
+	}
+	lanes := s.lanes
+	less := func(a, b int) bool {
+		pa, pb := &outs[a][cur[a]], &outs[b][cur[b]]
+		if pa.due != pb.due {
+			return pa.due < pb.due
+		}
+		return pa.sub.id < pb.sub.id
+	}
+	sift := func(i, n int) {
+		for {
+			min := i
+			if l := 2*i + 1; l < n && less(lanes[l], lanes[min]) {
+				min = l
+			}
+			if r := 2*i + 2; r < n && less(lanes[r], lanes[min]) {
+				min = r
+			}
+			if min == i {
+				return
+			}
+			lanes[i], lanes[min] = lanes[min], lanes[i]
+			i = min
+		}
+	}
+	n := len(lanes)
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(i, n)
+	}
+	for n > 0 {
+		l := lanes[0]
+		p := &outs[l][cur[l]]
 		if p.expire {
 			s.removeSub(p.sub)
 		} else {
 			p.sub.deliver(&p.result)
 		}
+		cur[l]++
+		if cur[l] == len(outs[l]) {
+			lanes[0] = lanes[n-1]
+			n--
+		}
+		sift(0, n)
 	}
 	// Zero the pointer-holding scratch so a burst-sized batch doesn't pin
 	// closed subscriptions for the life of the service. Capacities are
@@ -507,7 +580,6 @@ func (s *Service) Advance(d time.Duration) error {
 	for i := range outs {
 		clear(outs[i])
 	}
-	clear(s.flat)
 	return nil
 }
 

@@ -653,8 +653,10 @@ func (sub *Subscription) close() {
 // when the spec's Lifetime runs out). It runs on a dispatch worker and
 // touches only this subscription's engine query and session state, so
 // distinct subscriptions evaluate in parallel; delivery happens later, in
-// the merged serial phase.
-func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult) []pendingResult {
+// the merged serial phase. Schedule re-arms go into the worker's private
+// rb — Advance flushes each worker's batch once per stripe after the
+// dispatch, so parallel workers never contend on the schedule locks.
+func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult, rb *core.RearmBatch) []pendingResult {
 	eng := sub.svc.engine
 	for {
 		sub.mu.Lock()
@@ -696,7 +698,7 @@ func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult) []pe
 			pos = sub.src.PositionAt(due - sub.t0)
 		}
 		eng.UpdateWaypoint(sub.id, pos)
-		wr, ok := eng.EvaluateDue(sub.id, now)
+		wr, ok := eng.EvaluateDueBatch(sub.id, now, rb)
 		if !ok {
 			return buf
 		}
