@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare bench-idle-1m serve-smoke slo-compare fmt vet check
+.PHONY: all build test race bench bench-json bench-compare bench-idle-1m serve-smoke slo-compare obs-smoke fmt vet check
 
 all: build
 
@@ -51,12 +51,14 @@ bench-idle-1m:
 	$(GO) test -run=xxx -bench='^BenchmarkAdvance1M$$/^Idle$$' -benchtime=1x .
 
 # Build the network front-end and drive it with a short seeded workload;
-# writes the SLO_pr.json artifact CI uploads and slo-compare gates. The
-# parameters mirror the CI smoke job: small field, sub-second periods, an
-# elasticity wave landing mid-run.
+# writes the SLO_pr.json artifact CI uploads and slo-compare gates, plus
+# METRICS_pr.txt — a mid-run /metrics scrape, validated in-process and
+# again by obs-smoke. The parameters mirror the CI smoke job: small field,
+# sub-second periods, an elasticity wave landing mid-run.
 serve-smoke:
 	$(GO) build -o bin/mobiquery-serve ./cmd/mobiquery-serve
 	$(GO) run ./cmd/mobiquery-loadgen -serve bin/mobiquery-serve -out SLO_pr.json \
+		-metrics-out METRICS_pr.txt \
 		-nodes 2000 -tick 20ms -workers 8 -warmup 1s -duration 6s \
 		-wave-workers 8 -wave-at 3s -period 200ms -deadline 100ms \
 		-fresh 200ms -lifetime 1s -jit-every 4 -course-every 5 \
@@ -71,6 +73,13 @@ SLO_THRESHOLD ?= 200
 slo-compare: serve-smoke
 	$(GO) run ./cmd/mobiquery-slocmp -baseline SLO_baseline.json -current SLO_pr.json -threshold $(SLO_THRESHOLD)
 
+# Validate the mid-run /metrics scrape serve-smoke wrote: exposition
+# syntax, TYPE discipline, histogram monotonicity. Fails on a malformed
+# or empty exposition — the CI loadgen-smoke job runs this before
+# uploading METRICS_pr.txt.
+obs-smoke: serve-smoke
+	$(GO) run ./cmd/mobiquery-slocmp -expfmt METRICS_pr.txt
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -80,4 +89,7 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: build fmt vet test race bench-compare slo-compare
+# serve-smoke is a prerequisite of both slo-compare and obs-smoke; make
+# runs it once per invocation, so check drives one smoke run and gates
+# both artifacts off it.
+check: build fmt vet test race bench-compare slo-compare obs-smoke

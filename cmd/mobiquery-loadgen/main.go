@@ -15,9 +15,11 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"mobiquery/internal/loadgen"
+	"mobiquery/internal/obs"
 )
 
 func main() {
@@ -62,6 +65,7 @@ func run(args []string) error {
 		largeN   = fs.Int("large-every", 16, "every Nth subscription uses -large-radius (on-demand, pyramid-served)")
 		nodes    = fs.Int("nodes", 2000, "spawned server: sensor node count")
 		tick     = fs.Duration("tick", 20*time.Millisecond, "spawned server: real-time clock tick")
+		metrOut  = fs.String("metrics-out", "", "scrape BASE/metrics mid-run, validate the exposition, and write it to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -107,11 +111,31 @@ func run(args []string) error {
 	if err := loadgen.WaitReady(http.DefaultClient, base, 10*time.Second); err != nil {
 		return err
 	}
+	// Scrape /metrics in the middle of the measured window, while the
+	// workload is actually on the wire, not after it has drained.
+	var scrapec chan scrape
+	if *metrOut != "" {
+		scrapec = make(chan scrape, 1)
+		go func() {
+			time.Sleep(*warmup + *duration/2)
+			scrapec <- scrapeMetrics(base)
+		}()
+	}
 	rep, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
 	printSummary(rep)
+	if scrapec != nil {
+		sc := <-scrapec
+		if sc.err != nil {
+			return fmt.Errorf("mid-run metrics scrape: %w", sc.err)
+		}
+		if err := os.WriteFile(*metrOut, sc.body, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d families, %d samples)\n", *metrOut, sc.families, sc.samples)
+	}
 	if *out != "-" {
 		if err := rep.WriteFile(*out); err != nil {
 			return err
@@ -125,6 +149,39 @@ func run(args []string) error {
 		return fmt.Errorf("steady phase completed no subscriptions — run too short for lifetime %v", *lifetime)
 	}
 	return nil
+}
+
+// scrape is one validated /metrics fetch.
+type scrape struct {
+	body              []byte
+	families, samples int
+	err               error
+}
+
+// scrapeMetrics GETs base/metrics and validates the exposition format, so
+// a malformed exposition fails the run rather than shipping as a healthy
+// looking artifact. The fetch is bounded so a wedged server fails the run
+// with a scrape error instead of hanging it (run blocks on the scrape
+// result after the load phases finish).
+func scrapeMetrics(base string) scrape {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return scrape{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return scrape{err: fmt.Errorf("GET /metrics: status %d", resp.StatusCode)}
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return scrape{err: err}
+	}
+	families, samples, err := obs.ValidateExposition(bytes.NewReader(body))
+	if err != nil {
+		return scrape{err: fmt.Errorf("invalid exposition: %w", err)}
+	}
+	return scrape{body: body, families: families, samples: samples}
 }
 
 // spawnServe launches a mobiquery-serve binary on a free port and parses
@@ -183,11 +240,16 @@ func spawnServe(bin string, nodes int, region float64, seed int64, tick time.Dur
 	}
 }
 
-// parseListeningLine extracts the base URL from the serve banner.
+// parseListeningLine extracts the base URL from the serve banner. The
+// pprof banner ("mobiquery-serve pprof listening on ...") also matches
+// the marker; it is never the public address, so it never parses.
 func parseListeningLine(line string) string {
 	const marker = " listening on "
 	i := strings.Index(line, marker)
 	if i < 0 {
+		return ""
+	}
+	if strings.Contains(line[:i], "pprof") {
 		return ""
 	}
 	rest := line[i+len(marker):]

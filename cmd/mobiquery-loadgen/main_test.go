@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"net/http/httptest"
 	"os"
@@ -11,6 +12,7 @@ import (
 
 	"mobiquery"
 	"mobiquery/internal/loadgen"
+	"mobiquery/internal/obs"
 	"mobiquery/internal/server"
 )
 
@@ -30,9 +32,11 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	}()
 
 	out := filepath.Join(t.TempDir(), "SLO_pr.json")
+	metrics := filepath.Join(t.TempDir(), "METRICS_pr.txt")
 	args := []string{
 		"-addr", ts.URL,
 		"-out", out,
+		"-metrics-out", metrics,
 		"-workers", "3",
 		"-warmup", "200ms",
 		"-duration", "1s",
@@ -45,6 +49,17 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	}
 	if err := run(args); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	// The mid-run scrape was validated and captured live traffic.
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	if _, _, err := obs.ValidateExposition(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("metrics artifact invalid: %v", err)
+	}
+	if !bytes.Contains(raw, []byte("mobiquery_results_delivered_total")) {
+		t.Error("metrics artifact missing the delivery ledger")
 	}
 	rep, err := loadgen.ReadReport(out)
 	if err != nil {
@@ -84,6 +99,9 @@ func TestParseListeningLine(t *testing.T) {
 		{"mobiquery-serve listening on https://127.0.0.1:9177 (5000 nodes over 2000 m, tick 1s)", "https://127.0.0.1:9177"},
 		{"some unrelated log line", ""},
 		{"mobiquery-serve listening on tcp:whatever", ""},
+		// The pprof banner matches the marker but is never the public
+		// address.
+		{"mobiquery-serve pprof listening on http://127.0.0.1:6060/debug/pprof/", ""},
 	}
 	for _, c := range cases {
 		if got := parseListeningLine(c.line); got != c.want {

@@ -16,6 +16,11 @@
 // subscribes are rejected while live streams keep delivering — for up to
 // -drain-grace, then closes, which ends every stream with its end frame.
 //
+// Profiling is opt-in and isolated: -pprof ADDR serves net/http/pprof on
+// its own listener, never on the public mux, so exposing the service
+// never exposes the profiler. The pprof address is printed on its own
+// line after the main listening line.
+//
 //	mobiquery-serve -addr 127.0.0.1:9177 -nodes 5000 -region 2000 -tick 20ms
 package main
 
@@ -32,6 +37,7 @@ import (
 	"math/big"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +71,7 @@ func run(args []string, ready chan<- string) error {
 		tick    = fs.Duration("tick", 20*time.Millisecond, "real-time clock tick; 0 = manual clock + POST /v1/advance")
 		grace   = fs.Duration("drain-grace", 5*time.Second, "drain window before a signal forces Close")
 		tlsSelf = fs.Bool("tls-self", false, "serve TLS with an in-memory self-signed cert (enables HTTP/2)")
+		pprofAt = fs.String("pprof", "", "serve net/http/pprof on this separate address (host:port); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,9 +112,18 @@ func run(args []string, ready chan<- string) error {
 	}
 	bound := ln.Addr().String()
 	// The listening line is a contract: spawners (mobiquery-loadgen
-	// -serve) parse it to find the bound port.
+	// -serve) parse it to find the bound port. It is printed first; the
+	// pprof line, when enabled, always comes after it.
 	fmt.Printf("mobiquery-serve listening on %s://%s (%d nodes over %.0f m, tick %v)\n",
 		scheme, bound, *nodes, *region, *tick)
+	if *pprofAt != "" {
+		pprofBound, pprofSrv, err := startPprof(*pprofAt)
+		if err != nil {
+			return err
+		}
+		defer pprofSrv.Close()
+		fmt.Printf("mobiquery-serve pprof listening on http://%s/debug/pprof/\n", pprofBound)
+	}
 	if ready != nil {
 		ready <- scheme + "://" + bound
 	}
@@ -146,6 +162,26 @@ func run(args []string, ready chan<- string) error {
 	fmt.Printf("mobiquery-serve: closed (served %d subscriptions, %d results, %d dropped, %d late)\n",
 		st.Opened, st.Delivered, st.Dropped, st.Late)
 	return nil
+}
+
+// startPprof serves net/http/pprof on its own listener with an explicit
+// mux — deliberately not the public server's mux and not
+// http.DefaultServeMux, so nothing else ever leaks onto the profiling
+// port (or the profiler onto the public one). Returns the bound address.
+func startPprof(addr string) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv, nil
 }
 
 // selfSignedCert mints a throwaway ECDSA certificate for localhost use.

@@ -115,6 +115,45 @@ func TestServeRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// TestPprofListenerIsolated pins the -pprof contract: the profiler
+// answers on its own listener and the public mux never serves it.
+func TestPprofListenerIsolated(t *testing.T) {
+	pprofAddr, psrv, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("startPprof: %v", err)
+	}
+	defer psrv.Close()
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof cmdline: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d, want 200", resp.StatusCode)
+	}
+
+	base, errc := startServe(t, "-pprof", "127.0.0.1:0")
+	resp, err = http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("public pprof probe: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("public mux serves pprof: status %d, want 404", resp.StatusCode)
+	}
+	// /metrics rides the public mux.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics: status %d, want 200", resp.StatusCode)
+	}
+	syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+	<-errc
+}
+
 func TestSelfSignedCertServesTLS(t *testing.T) {
 	cert, err := selfSignedCert()
 	if err != nil {

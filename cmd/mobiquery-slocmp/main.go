@@ -12,6 +12,11 @@
 // sub-floor baselines gate against the floor instead of the noise. The
 // gate fails when current > effective * (1 + threshold/100); a
 // threshold of zero (or below) makes the comparison informational only.
+//
+// A second mode, -expfmt FILE, validates a Prometheus text exposition
+// (the METRICS_pr.txt artifact the smoke run scrapes) instead of
+// comparing SLO reports: exit status 0 means well-formed. `make
+// obs-smoke` and the CI loadgen-smoke job gate on it.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"os"
 
 	"mobiquery/internal/loadgen"
+	"mobiquery/internal/obs"
 )
 
 func main() {
@@ -69,9 +75,14 @@ func run(args []string, w io.Writer) error {
 		threshold     = fs.Float64("threshold", 0, "fail when a gated p99 regresses beyond this percentage against the effective baseline (0 = informational only)")
 		latencyFloor  = fs.Float64("latency-floor", 50, "subscribe-latency baselines below this many ms gate against the floor instead")
 		latenessFloor = fs.Float64("lateness-floor", 100, "delivery-lateness baselines below this many ms gate against the floor instead")
+		expfmt        = fs.String("expfmt", "", "validate this Prometheus text exposition file instead of comparing SLO reports")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *expfmt != "" {
+		return validateExpfmt(*expfmt, w)
 	}
 
 	base, err := loadgen.ReadReport(*baseline)
@@ -106,6 +117,25 @@ func run(args []string, w io.Writer) error {
 	if *threshold > 0 {
 		fmt.Fprintf(w, "\nall %d gated SLO metrics within %.0f%% of the effective baseline\n", len(gates), *threshold)
 	}
+	return nil
+}
+
+// validateExpfmt checks a scraped /metrics artifact for exposition-format
+// violations (syntax, TYPE discipline, histogram monotonicity).
+func validateExpfmt(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	families, samples, err := obs.ValidateExposition(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if samples == 0 {
+		return fmt.Errorf("%s: exposition carries no samples", path)
+	}
+	fmt.Fprintf(w, "%s: well-formed exposition, %d families, %d samples\n", path, families, samples)
 	return nil
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -146,5 +147,44 @@ func TestMissingFilesAreErrors(t *testing.T) {
 	}
 	if err := run([]string{"-not-a-flag"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown flag should be an error")
+	}
+}
+
+// TestExpfmtMode pins -expfmt: a well-formed exposition passes, malformed
+// or empty ones fail, and the flag bypasses report comparison entirely.
+func TestExpfmtMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		return p
+	}
+	good := write("good.txt", `# HELP app_ops_total operations
+# TYPE app_ops_total counter
+app_ops_total 42
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-expfmt", good}, &out); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "well-formed") {
+		t.Errorf("expected a summary line:\n%s", out.String())
+	}
+
+	bad := write("bad.txt", `# TYPE app_ops_total counter
+app_ops_total not-a-number
+`)
+	if err := run([]string{"-expfmt", bad}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed exposition should be an error")
+	}
+	empty := write("empty.txt", "")
+	if err := run([]string{"-expfmt", empty}, &bytes.Buffer{}); err == nil {
+		t.Error("empty exposition should be an error")
+	}
+	if err := run([]string{"-expfmt", filepath.Join(dir, "absent.txt")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing exposition file should be an error")
 	}
 }

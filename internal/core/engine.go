@@ -251,6 +251,14 @@ func (e *QueryEngine) PopDue(now sim.Time, buf []DueEntry) []DueEntry {
 // per-stripe entry counts, and the fan-in of the last non-empty PopDue.
 func (e *QueryEngine) ScheduleStats() ScheduleStats { return e.sched.Stats() }
 
+// ScheduleStatsInto is ScheduleStats writing into a caller-owned snapshot,
+// reusing its StripeLens capacity (see Schedule.StatsInto).
+func (e *QueryEngine) ScheduleStatsInto(out *ScheduleStats) { e.sched.StatsInto(out) }
+
+// LastMergeDepth returns the stripe fan-in of the most recent non-empty
+// PopDue as one atomic load (see Schedule.LastMergeDepth).
+func (e *QueryEngine) LastMergeDepth() int { return e.sched.LastMergeDepth() }
+
 // rearmEntry is one deferred schedule re-arm: query q's next boundary is
 // due. The liveQuery pointer (not the bare id) is carried so the flush can
 // check q.dead — the id alone could since have been freed and re-registered

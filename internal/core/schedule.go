@@ -235,20 +235,33 @@ type ScheduleStats struct {
 // Stats snapshots the scheduler. Each stripe is read under its own lock;
 // the snapshot is per-stripe consistent, not globally atomic.
 func (s *Schedule) Stats() ScheduleStats {
-	out := ScheduleStats{
-		Stripes:        len(s.stripes),
-		StripeLens:     make([]int, len(s.stripes)),
-		LastMergeDepth: int(s.mergeDepth.Load()),
-	}
+	var out ScheduleStats
+	s.StatsInto(&out)
+	return out
+}
+
+// StatsInto is Stats writing into a caller-owned snapshot, reusing its
+// StripeLens capacity — the allocation-free form for periodic samplers
+// (a metrics scrape, the /v1/stats handler) that snapshot on every call.
+func (s *Schedule) StatsInto(out *ScheduleStats) {
+	out.Stripes = len(s.stripes)
+	out.Len = 0
+	out.LastMergeDepth = int(s.mergeDepth.Load())
+	out.StripeLens = out.StripeLens[:0]
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.Lock()
-		out.StripeLens[i] = len(st.heap)
+		n := len(st.heap)
 		st.mu.Unlock()
-		out.Len += out.StripeLens[i]
+		out.StripeLens = append(out.StripeLens, n)
+		out.Len += n
 	}
-	return out
 }
+
+// LastMergeDepth returns the stripe fan-in of the most recent non-empty
+// PopDue — one atomic load, cheap enough for the per-tick metrics path
+// where a full Stats snapshot (one lock hold per stripe) is not.
+func (s *Schedule) LastMergeDepth() int { return int(s.mergeDepth.Load()) }
 
 // mergeCursor is one stripe's sorted due run inside PopDue's k-way merge.
 type mergeCursor struct {

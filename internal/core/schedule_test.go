@@ -488,3 +488,38 @@ func BenchmarkScheduleCycle(b *testing.B) {
 		}
 	}
 }
+
+// TestScheduleStatsInto pins the allocation-reusing snapshot: it matches
+// Stats exactly, reuses the caller's StripeLens capacity, and a warm call
+// allocates nothing.
+func TestScheduleStatsInto(t *testing.T) {
+	s := NewScheduleStriped(8)
+	for id := uint32(1); id <= 100; id++ {
+		s.Upsert(id, sim.Time(id)*time.Millisecond)
+	}
+	s.PopDue(20*time.Millisecond, nil)
+
+	var into ScheduleStats
+	s.StatsInto(&into)
+	direct := s.Stats()
+	if into.Stripes != direct.Stripes || into.Len != direct.Len ||
+		into.LastMergeDepth != direct.LastMergeDepth ||
+		len(into.StripeLens) != len(direct.StripeLens) {
+		t.Fatalf("StatsInto = %+v, Stats = %+v", into, direct)
+	}
+	for i := range into.StripeLens {
+		if into.StripeLens[i] != direct.StripeLens[i] {
+			t.Fatalf("stripe %d: StatsInto %d != Stats %d", i, into.StripeLens[i], direct.StripeLens[i])
+		}
+	}
+	if into.LastMergeDepth != s.LastMergeDepth() {
+		t.Fatalf("LastMergeDepth accessor %d != snapshot %d", s.LastMergeDepth(), into.LastMergeDepth)
+	}
+	before := &into.StripeLens[0]
+	if allocs := testing.AllocsPerRun(100, func() { s.StatsInto(&into) }); allocs != 0 {
+		t.Fatalf("warm StatsInto allocates %v per run", allocs)
+	}
+	if &into.StripeLens[0] != before {
+		t.Fatalf("warm StatsInto replaced the StripeLens backing array")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"mobiquery/internal/core"
 	"mobiquery/internal/field"
 	"mobiquery/internal/geom"
+	"mobiquery/internal/obs"
 	"mobiquery/internal/radio"
 )
 
@@ -88,6 +89,12 @@ type ScaleResult struct {
 	MeanValue   float64 // mean Avg aggregate over non-empty areas
 	Checksum    uint64  // order-independent integer digest of all results
 	Elapsed     time.Duration
+
+	// Per-round sweep wall time, as log-bucket quantile upper bounds from
+	// an obs histogram — the same latency shape /metrics would report, so
+	// the experiment and the live service read on the same scale.
+	SweepP50 time.Duration
+	SweepP99 time.Duration
 }
 
 // resultDigest folds one per-user aggregate into the run digest. Each
@@ -140,6 +147,7 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 	})
 
 	res := ScaleResult{Config: cfg}
+	sweepLat := obs.NewHistogram(int64(10*time.Minute), 1e-9)
 	var areaSum, valueSum float64
 	var checksum uint64
 	valued := 0
@@ -152,12 +160,14 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 			})
 		}
 		at := time.Duration(round) * time.Second
+		sweepStart := time.Now()
 		var sweep []core.AreaResult
 		if cfg.Serial {
 			sweep = e.EvaluateAllSerial(at)
 		} else {
 			sweep = e.EvaluateAll(at)
 		}
+		sweepLat.Observe(time.Since(sweepStart).Nanoseconds())
 		for _, ar := range sweep {
 			res.Evaluations++
 			areaSum += float64(len(ar.Nodes))
@@ -177,5 +187,7 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 		res.MeanValue = valueSum / float64(valued)
 	}
 	res.Checksum = checksum
+	res.SweepP50 = time.Duration(sweepLat.Quantile(0.5))
+	res.SweepP99 = time.Duration(sweepLat.Quantile(0.99))
 	return res
 }

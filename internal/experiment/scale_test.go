@@ -85,3 +85,15 @@ func TestScaleUniformFieldMeanValue(t *testing.T) {
 		t.Fatalf("MeanValue over uniform field = %v, want 42", res.MeanValue)
 	}
 }
+
+// TestScaleSweepQuantiles pins the sweep-latency readout: every round
+// observed, quantiles positive and ordered.
+func TestScaleSweepQuantiles(t *testing.T) {
+	res := RunScale(smallScale())
+	if res.SweepP50 <= 0 || res.SweepP99 <= 0 {
+		t.Fatalf("sweep quantiles not recorded: p50=%v p99=%v", res.SweepP50, res.SweepP99)
+	}
+	if res.SweepP50 > res.SweepP99 {
+		t.Fatalf("sweep p50 %v > p99 %v", res.SweepP50, res.SweepP99)
+	}
+}

@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text exposition (format 0.0.4)
+// for structural validity: well-formed HELP/TYPE comments, every sample
+// line parseable as `name{labels} value [timestamp]` with a legal metric
+// name and label syntax and a float-parseable value, every sample's base
+// family announced by a TYPE line first, and every histogram child's
+// cumulative _bucket series monotone with its +Inf bucket equal to its
+// _count. It returns the family and sample counts so callers can report
+// coverage; any violation is an error naming the offending line.
+//
+// The validator is deliberately small — it gates CI smoke artifacts against
+// malformed instrumentation, it does not implement the full scrape parser.
+func ValidateExposition(r io.Reader) (families, samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	types := make(map[string]string) // family name -> kind
+	// histogram reconciliation state, keyed by family + child labels
+	// (le stripped): last cumulative bucket value, +Inf value, count value.
+	type histState struct {
+		lastCum  float64
+		hasInf   bool
+		infVal   float64
+		hasCount bool
+		countVal float64
+	}
+	hists := make(map[string]*histState)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, cerr := parseComment(line)
+			if cerr != nil {
+				return 0, 0, fmt.Errorf("line %d: %v", lineNo, cerr)
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return 0, 0, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+				if _, dup := types[name]; dup {
+					return 0, 0, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = rest
+				families++
+			}
+			continue
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			return 0, 0, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+		base, suffix := baseName(name, types)
+		if types[base] == "" {
+			return 0, 0, fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+		}
+		if types[base] != "histogram" {
+			continue
+		}
+		key := base + "\x00" + stripLabel(labels, "le")
+		st := hists[key]
+		if st == nil {
+			st = &histState{}
+			hists[key] = st
+		}
+		switch suffix {
+		case "_bucket":
+			le, ok := labelValue(labels, "le")
+			if !ok {
+				return 0, 0, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+			if value+1e-9 < st.lastCum {
+				return 0, 0, fmt.Errorf("line %d: histogram %s cumulative bucket decreased (%g after %g)", lineNo, base, value, st.lastCum)
+			}
+			st.lastCum = value
+			if le == "+Inf" {
+				st.hasInf = true
+				st.infVal = value
+			}
+		case "_count":
+			st.hasCount = true
+			st.countVal = value
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return 0, 0, serr
+	}
+	for key, st := range hists {
+		base := key[:strings.IndexByte(key, 0)]
+		if !st.hasInf {
+			return 0, 0, fmt.Errorf("histogram %s: missing +Inf bucket", base)
+		}
+		if !st.hasCount {
+			return 0, 0, fmt.Errorf("histogram %s: missing _count", base)
+		}
+		if st.infVal != st.countVal {
+			return 0, 0, fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", base, st.infVal, st.countVal)
+		}
+	}
+	return families, samples, nil
+}
+
+// parseComment validates a `# HELP name ...` / `# TYPE name kind` line
+// (other comments pass through with empty kind).
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	fields := strings.SplitN(body, " ", 3)
+	if len(fields) == 0 || (fields[0] != "HELP" && fields[0] != "TYPE") {
+		return "", "", "", nil // free-form comment
+	}
+	if len(fields) < 2 || !validMetricName(fields[1]) {
+		return "", "", "", fmt.Errorf("malformed %s comment %q", fields[0], line)
+	}
+	if fields[0] == "TYPE" && len(fields) < 3 {
+		return "", "", "", fmt.Errorf("TYPE comment missing kind: %q", line)
+	}
+	if len(fields) == 3 {
+		rest = fields[2]
+	}
+	return fields[0], fields[1], rest, nil
+}
+
+// parseSample splits one sample line into name, raw label body, and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := labelEnd(rest[i:])
+		if j < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label braces: %q", line)
+		}
+		labels = rest[i+1 : i+j]
+		rest = strings.TrimLeft(rest[i+j+1:], " \t")
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("sample line without value: %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimLeft(rest[sp:], " \t")
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	if err := validLabels(labels); err != nil {
+		return "", "", 0, fmt.Errorf("%v in %q", err, line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("expected value [timestamp], got %q", rest)
+	}
+	v, perr := parseValue(fields[0])
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, v, nil
+}
+
+// labelEnd returns the index in s (which starts at the opening '{') of the
+// '}' closing the label body, skipping over quoted values — where '}' and
+// backslash-escaped quotes are legal — or -1 when unterminated.
+func labelEnd(s string) int {
+	inQuote := false
+	for k := 1; k < len(s); k++ {
+		switch {
+		case inQuote && s[k] == '\\':
+			k++
+		case s[k] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[k] == '}':
+			return k
+		}
+	}
+	return -1
+}
+
+// parseValue parses a sample value, accepting the format's +Inf/-Inf/NaN.
+func parseValue(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabels checks the raw label body: comma-separated name="value"
+// pairs with legal label names and terminated quoted values.
+func validLabels(s string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = rest[end+1:]
+		if s == "" {
+			break
+		}
+		if s[0] != ',' {
+			return fmt.Errorf("expected comma between labels")
+		}
+		s = s[1:]
+	}
+	return nil
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// baseName resolves a sample name to its announcing family: histogram and
+// summary series use the _bucket/_sum/_count suffixes of their base name.
+func baseName(name string, types map[string]string) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			b := strings.TrimSuffix(name, suf)
+			if k := types[b]; k == "histogram" || k == "summary" {
+				return b, suf
+			}
+		}
+	}
+	return name, ""
+}
+
+// labelValue extracts one label's (unescaped-as-written) value from a raw
+// label body.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range splitLabels(labels) {
+		if k, v, ok := strings.Cut(part, "="); ok && strings.TrimSpace(k) == key {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// stripLabel returns the label body with one label removed — the child
+// identity of a histogram series across its le-varying buckets.
+func stripLabel(labels, key string) string {
+	parts := splitLabels(labels)
+	out := parts[:0]
+	for _, part := range parts {
+		if k, _, ok := strings.Cut(part, "="); ok && strings.TrimSpace(k) == key {
+			continue
+		}
+		out = append(out, part)
+	}
+	return strings.Join(out, ",")
+}
+
+// splitLabels splits a raw label body on commas outside quoted values.
+func splitLabels(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var parts []string
+	start, inQuote := 0, false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, labels[start:])
+}

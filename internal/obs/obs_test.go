@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketProperty sweeps values across the full range and pins
+// the bucketing invariants: every value lands in exactly one bucket, that
+// bucket's inclusive bounds contain it, and the bounds table is strictly
+// increasing (so the cumulative exposition is monotone by construction).
+func TestHistogramBucketProperty(t *testing.T) {
+	h := NewHistogram(int64(64*time.Second), 1e-9)
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i] <= h.bounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, h.bounds[i], h.bounds[i-1])
+		}
+	}
+	// Exhaustive over the small range, then boundary-straddling probes over
+	// every octave: the bucket must be the unique one whose half-open
+	// (prevBound, bound] interval contains the value.
+	check := func(v int64) {
+		t.Helper()
+		idx := h.index(v)
+		if idx < 0 || idx >= len(h.bkts) {
+			t.Fatalf("value %d: bucket index %d out of range", v, idx)
+		}
+		if idx == len(h.bkts)-1 {
+			if v <= h.bounds[len(h.bounds)-1] {
+				t.Fatalf("value %d landed in overflow but max bound is %d", v, h.bounds[len(h.bounds)-1])
+			}
+			return
+		}
+		if v > h.bounds[idx] {
+			t.Fatalf("value %d above its bucket bound %d (idx %d)", v, h.bounds[idx], idx)
+		}
+		if idx > 0 && v <= h.bounds[idx-1] {
+			t.Fatalf("value %d at or below previous bound %d (idx %d)", v, h.bounds[idx-1], idx)
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for _, b := range h.bounds {
+		for _, v := range []int64{b - 1, b, b + 1} {
+			if v >= 0 {
+				check(v)
+			}
+		}
+	}
+	// Far beyond the range: overflow bucket.
+	huge := h.bounds[len(h.bounds)-1] * 16
+	if got := h.index(huge); got != len(h.bkts)-1 {
+		t.Fatalf("value %d: want overflow bucket %d, got %d", huge, len(h.bkts)-1, got)
+	}
+
+	// Count/Sum bookkeeping, including the negative clamp.
+	h.Observe(-5)
+	h.Observe(10)
+	h.Observe(huge)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 10+huge {
+		t.Fatalf("sum = %d, want %d", h.Sum(), 10+huge)
+	}
+	var cum uint64
+	for i := 0; i < h.NumBuckets(); i++ {
+		_, n, _ := h.Bucket(i)
+		cum += n
+	}
+	if cum != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", cum, h.Count())
+	}
+}
+
+// TestHistogramQuantile pins the quantile estimator's bucket-upper-bound
+// semantics.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1<<20, 1)
+	if h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile should be 0")
+	}
+	for v := int64(0); v < 100; v++ {
+		h.Observe(v)
+	}
+	if q := h.Quantile(0); q < 0 || q > 1 {
+		t.Fatalf("q0 = %d, want a bound at the bottom of the range", q)
+	}
+	med := h.Quantile(0.5)
+	if med < 49 || med > 63 {
+		t.Fatalf("median bound %d outside the plausible bucket range [49, 63]", med)
+	}
+	if max := h.Quantile(1); max < 99 {
+		t.Fatalf("q1 = %d, want >= 99", max)
+	}
+}
+
+// TestConcurrentIncrement hammers one counter, one gauge, and one histogram
+// from many goroutines; run under -race this doubles as the data-race
+// check, and the totals pin that no increment is lost.
+func TestConcurrentIncrement(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("t_total", "", "test counter")
+	g := r.Gauge("t_gauge", "", "test gauge")
+	h := r.Histogram("t_seconds", "", "test histogram", int64(time.Second), 1e-9)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Load() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*per)
+	}
+	if g.Load() != workers*per {
+		t.Fatalf("gauge = %d, want %d", g.Load(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if _, _, err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, sb.String())
+	}
+}
+
+// TestRegistryExposition pins the rendered format end to end: family order,
+// get-or-create identity, OnScrape sampling, label rendering, histogram
+// bucket elision with +Inf/_sum/_count, and validator acceptance.
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_things_total", `kind="a"`, "things processed")
+	if c2 := r.Counter("app_things_total", `kind="a"`, "things processed"); c2 != c {
+		t.Fatalf("get-or-create returned a different counter")
+	}
+	cb := r.Counter("app_things_total", `kind="b"`, "things processed")
+	g := r.Gauge("app_level", "", "current level")
+	h := r.Histogram("app_op_seconds", "", "op latency", int64(time.Second), 1e-9)
+	r.OnScrape(func() { g.Set(42) })
+
+	c.Add(3)
+	cb.Inc()
+	h.Observe(0)
+	h.Observe(7)
+	h.Observe(int64(2 * time.Second)) // overflow
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP app_things_total things processed\n# TYPE app_things_total counter\n" +
+			"app_things_total{kind=\"a\"} 3\napp_things_total{kind=\"b\"} 1\n",
+		"# TYPE app_level gauge\napp_level 42\n",
+		"# TYPE app_op_seconds histogram\n",
+		"app_op_seconds_bucket{le=\"0\"} 1\n",
+		"app_op_seconds_bucket{le=\"7e-09\"} 2\n",
+		"app_op_seconds_bucket{le=\"+Inf\"} 3\n",
+		"app_op_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Elision: only observed buckets (plus +Inf) appear.
+	if n := strings.Count(out, "app_op_seconds_bucket"); n != 3 {
+		t.Fatalf("want 3 bucket lines after elision, got %d:\n%s", n, out)
+	}
+	fams, samples, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+	if fams != 3 || samples < 8 {
+		t.Fatalf("validator saw %d families / %d samples, want 3 / >=8", fams, samples)
+	}
+	types := r.TypeLines()
+	if len(types) != 3 || types[0] != "# TYPE app_level gauge" {
+		t.Fatalf("TypeLines = %q", types)
+	}
+}
+
+// TestRegistryKindConflict pins the registration panic on kind mismatch.
+func TestRegistryKindConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic registering x_total as gauge")
+		}
+	}()
+	r.Gauge("x_total", "", "x")
+}
+
+// TestTraceRing pins ring semantics: nil rings are no-ops, a partial ring
+// snapshots in insertion order, and a wrapped ring keeps the newest depth
+// spans oldest-first.
+func TestTraceRing(t *testing.T) {
+	var nilRing *TraceRing
+	nilRing.Record(&PeriodSpan{K: 1})
+	if got := nilRing.Snapshot(nil); len(got) != 0 {
+		t.Fatalf("nil ring snapshot = %d spans", len(got))
+	}
+	if NewTraceRing(0) != nil {
+		t.Fatalf("depth 0 should return a nil ring")
+	}
+
+	ring := NewTraceRing(4)
+	for k := 1; k <= 3; k++ {
+		ring.Record(&PeriodSpan{K: k})
+	}
+	got := ring.Snapshot(nil)
+	if len(got) != 3 || got[0].K != 1 || got[2].K != 3 {
+		t.Fatalf("partial snapshot = %+v", got)
+	}
+	for k := 4; k <= 10; k++ {
+		ring.Record(&PeriodSpan{K: k})
+	}
+	got = ring.Snapshot(got[:0])
+	if len(got) != 4 {
+		t.Fatalf("wrapped snapshot has %d spans, want 4", len(got))
+	}
+	for i, want := range []int{7, 8, 9, 10} {
+		if got[i].K != want {
+			t.Fatalf("wrapped snapshot[%d].K = %d, want %d", i, got[i].K, want)
+		}
+	}
+}
+
+// TestValidateExpositionRejects pins the validator against the malformed
+// lines CI is meant to catch.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":  "# TYPE ok counter\n1bad 3\n",
+		"no value":         "# TYPE ok counter\nok\n",
+		"bad value":        "# TYPE ok counter\nok abc\n",
+		"no TYPE":          "orphan 3\n",
+		"unterminated":     "# TYPE ok counter\nok{a=\"x 3\n",
+		"bad label name":   "# TYPE ok counter\nok{1a=\"x\"} 3\n",
+		"bucket no le":     "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+		"non-monotone":     "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf != count":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"missing +Inf":     "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_sum 1\nh_count 3\n",
+		"duplicate TYPE":   "# TYPE ok counter\n# TYPE ok counter\nok 1\n",
+		"unknown kind":     "# TYPE ok widget\nok 1\n",
+		"trailing garbage": "# TYPE ok counter\nok 3 12 9\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted %q", name, in)
+		}
+	}
+	good := "# some comment\n# HELP ok fine\n# TYPE ok counter\nok{a=\"x,y\",b=\"z\"} 3 1700000000000\n\n"
+	if _, _, err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("validator rejected valid exposition: %v", err)
+	}
+	// '}' and escaped quotes inside a quoted label value are legal — the
+	// closing-brace scan must not stop inside the value.
+	braces := "# TYPE ok counter\nok{path=\"/v1/{id}/trace\",q=\"a\\\"b}\"} 3\n"
+	if _, _, err := ValidateExposition(strings.NewReader(braces)); err != nil {
+		t.Fatalf("validator rejected label value containing '}': %v", err)
+	}
+}
+
+// The record-path benchmarks hard-fail on any allocation in the timed loop
+// — the same enforcement pattern as BenchmarkAdvance1M/Idle, and the teeth
+// behind the 0-alloc claim (bench-compare's -allocfloor exempts near-zero
+// baselines, so the in-benchmark check is what actually gates).
+
+func benchNoAlloc(b *testing.B, f func(i int)) {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(i)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if mallocs := after.Mallocs - before.Mallocs; mallocs > uint64(b.N/1000) {
+		b.Fatalf("record path allocated: %d mallocs over %d iterations", mallocs, b.N)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "", "bench")
+	benchNoAlloc(b, func(int) { c.Inc() })
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", "bench", int64(64*time.Second), 1e-9)
+	benchNoAlloc(b, func(i int) { h.Observe(int64(i) * 37) })
+}
+
+func BenchmarkTraceRecord(b *testing.B) {
+	ring := NewTraceRing(16)
+	span := PeriodSpan{K: 1, Due: time.Second, Class: ClassCold}
+	benchNoAlloc(b, func(i int) {
+		span.K = i
+		ring.Record(&span)
+	})
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Class is the serve class of one evaluated period: which machinery
+// answered it. The classes partition evaluated periods, so per-class
+// counters sum to the delivery ledger's evaluated total.
+type Class uint8
+
+const (
+	// ClassCold is a flat index scan with no prediction machinery.
+	ClassCold Class = iota
+	// ClassPlanned is a prefetching subscription's period served through
+	// its plan (readings staged in time, enumeration still by index).
+	ClassPlanned
+	// ClassCorridor is a period served warm from a staged corridor
+	// snapshot.
+	ClassCorridor
+	// ClassPyramid is a period answered from the aggregate tile pyramid.
+	ClassPyramid
+
+	// NumClasses is the number of serve classes.
+	NumClasses = 4
+)
+
+// String returns the class's label value in the exposition.
+func (c Class) String() string {
+	switch c {
+	case ClassCold:
+		return "cold"
+	case ClassPlanned:
+		return "planned"
+	case ClassCorridor:
+		return "corridor"
+	case ClassPyramid:
+		return "pyramid"
+	default:
+		return "unknown"
+	}
+}
+
+// Outcome is how a period span ended.
+type Outcome uint8
+
+const (
+	// OutcomeDelivered means the result reached the subscriber's channel.
+	OutcomeDelivered Outcome = iota
+	// OutcomeDropped means the subscriber's buffer was full and the result
+	// was discarded (counted, never blocking).
+	OutcomeDropped
+)
+
+// String returns the outcome's wire name.
+func (o Outcome) String() string {
+	if o == OutcomeDropped {
+		return "dropped"
+	}
+	return "delivered"
+}
+
+// PeriodSpan is one subscription period's lifecycle: stamped as it moves
+// armed → popped → evaluated → merged/delivered. Due is virtual service
+// time; the *NS fields are wall-clock unix nanoseconds, so stage latencies
+// are differences between consecutive stamps (Armed is the wall time the
+// period's schedule entry was last re-armed — the end of the previous
+// period's evaluation — so Popped-Armed is time spent waiting in the
+// scheduler).
+type PeriodSpan struct {
+	K           int           // 1-based period index
+	Due         time.Duration // virtual due time
+	ArmedNS     int64
+	PoppedNS    int64
+	EvalStartNS int64
+	EvalEndNS   int64
+	DeliveredNS int64 // merge + delivery complete
+	Class       Class
+	Outcome     Outcome
+	Late        bool
+}
+
+// TraceRing is a fixed-depth ring of the most recent period spans of one
+// subscription. A nil ring is valid and ignores everything — tracing
+// disabled costs one nil check per period. Record and Snapshot are
+// mutually safe; Record is called from the delivery path (serialized per
+// subscription), Snapshot from introspection handlers.
+type TraceRing struct {
+	mu    sync.Mutex
+	spans []PeriodSpan
+	next  int
+	full  bool
+}
+
+// NewTraceRing returns a ring holding the last depth spans; depth <= 0
+// returns nil (tracing disabled).
+func NewTraceRing(depth int) *TraceRing {
+	if depth <= 0 {
+		return nil
+	}
+	return &TraceRing{spans: make([]PeriodSpan, depth)}
+}
+
+// Record appends one completed span, evicting the oldest at capacity.
+func (r *TraceRing) Record(s *PeriodSpan) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans[r.next] = *s
+	r.next++
+	if r.next == len(r.spans) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot appends the ring's spans to buf, oldest first, and returns it.
+// A nil ring appends nothing.
+func (r *TraceRing) Snapshot(buf []PeriodSpan) []PeriodSpan {
+	if r == nil {
+		return buf
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		buf = append(buf, r.spans[r.next:]...)
+	}
+	return append(buf, r.spans[:r.next]...)
+}

@@ -8,7 +8,12 @@
 // Endpoints:
 //
 //	GET  /healthz                        liveness + virtual clock
+//	GET  /metrics                        Prometheus text exposition of the
+//	                                     service registry (+ per-route HTTP
+//	                                     request metrics)
 //	GET  /v1/stats                       service-wide delivery ledger
+//	GET  /v1/subscriptions/{id}/trace    recent period lifecycle spans,
+//	                                     one NDJSON line per period
 //	POST /v1/subscribe                   body: one wire.SubscribeRequest;
 //	                                     response: ack, result*, end frames
 //	POST /v1/subscriptions/{id}/waypoints  body: wire.Waypoint per line,
@@ -54,7 +59,18 @@ type Server struct {
 	// entry lives exactly as long as its subscribe handler.
 	mu   sync.Mutex
 	subs map[uint32]*mobiquery.Subscription
+
+	// statsMu guards the reused /v1/stats snapshot: the handler writes
+	// the response while holding it because the wire view aliases the
+	// snapshot's stripe-occupancy slice.
+	statsMu      sync.Mutex
+	statsScratch mobiquery.ServiceStats
 }
+
+// httpMaxLatency bounds the per-route request-latency histograms;
+// subscribe streams (which live as long as the subscription) are not
+// instrumented, so a minute of headroom is plenty for every other route.
+const httpMaxLatency = int64(64 * time.Second)
 
 // New returns a Server handling the wire protocol over svc.
 func New(svc *mobiquery.Service, opts Options) *Server {
@@ -64,15 +80,41 @@ func New(svc *mobiquery.Service, opts Options) *Server {
 		mux:  http.NewServeMux(),
 		subs: make(map[uint32]*mobiquery.Subscription),
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.handle("GET /healthz", "healthz", s.handleHealth)
+	// The scrape instruments itself too: the wrapper records after the
+	// exposition renders, so each scrape shows the count as of the
+	// previous one — standard self-measurement lag.
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	s.handle("GET /v1/stats", "stats", s.handleStats)
+	// The subscribe stream stays uninstrumented: its "latency" is the
+	// subscription lifetime, which would drown the request histograms.
 	s.mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
-	s.mux.HandleFunc("POST /v1/subscriptions/{id}/waypoints", s.handleWaypoints)
-	s.mux.HandleFunc("GET /v1/subscriptions/{id}/stats", s.handleSubStats)
+	s.handle("POST /v1/subscriptions/{id}/waypoints", "waypoints", s.handleWaypoints)
+	s.handle("GET /v1/subscriptions/{id}/stats", "sub_stats", s.handleSubStats)
+	s.handle("GET /v1/subscriptions/{id}/trace", "trace", s.handleTrace)
 	if opts.AllowAdvance {
-		s.mux.HandleFunc("POST /v1/advance", s.handleAdvance)
+		s.handle("POST /v1/advance", "advance", s.handleAdvance)
 	}
 	return s
+}
+
+// handle registers pattern on the mux wrapped with per-route request
+// metrics in the service registry. Registration is get-or-create, so a
+// second Server over the same Service shares the same families.
+func (s *Server) handle(pattern, route string, h http.HandlerFunc) {
+	reg := s.svc.Metrics()
+	lbl := `route="` + route + `"`
+	total := reg.Counter("mobiquery_http_requests_total", lbl,
+		"HTTP requests served, by route (subscribe streams excluded)")
+	lat := reg.Histogram("mobiquery_http_request_seconds", lbl,
+		"HTTP request wall time, by route (subscribe streams excluded)",
+		httpMaxLatency, 1e-9)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		total.Inc()
+		lat.Observe(time.Since(start).Nanoseconds())
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -93,7 +135,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, wire.FromServiceStats(s.svc.Stats()))
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	s.svc.StatsInto(&s.statsScratch)
+	writeJSON(w, http.StatusOK, wire.FromServiceStats(s.statsScratch))
+}
+
+// handleMetrics renders the service registry as Prometheus text
+// exposition format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.Metrics().WritePrometheus(w)
+}
+
+// handleTrace streams a subscription's recent period lifecycle spans,
+// oldest first, one NDJSON line each.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sub, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	spans := sub.TraceSpans(nil)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := wire.NewEncoder(w)
+	for i := range spans {
+		if enc.Encode(wire.FromPeriodSpan(spans[i])) != nil {
+			return
+		}
+	}
 }
 
 // handleSubscribe opens a subscription from the request body and streams

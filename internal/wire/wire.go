@@ -284,6 +284,12 @@ type ServiceStats struct {
 	Dropped     uint64 `json:"dropped"`
 	Late        uint64 `json:"late"`
 
+	// Aggregate tile pyramid: instantiated boundary classes, periods
+	// answered from tiles, and epoch ingests.
+	PyramidClasses int    `json:"pyramid_classes"`
+	PyramidServes  uint64 `json:"pyramid_serves"`
+	PyramidBuilds  uint64 `json:"pyramid_builds"`
+
 	// Scheduler shape: stripe count, total scheduled periods, per-stripe
 	// occupancy, and the width of the last PopDue merge.
 	SchedStripes    int   `json:"sched_stripes"`
@@ -304,6 +310,10 @@ func FromServiceStats(st mobiquery.ServiceStats) ServiceStats {
 		Delivered:   st.Delivered,
 		Dropped:     st.Dropped,
 		Late:        st.Late,
+
+		PyramidClasses: st.PyramidClasses,
+		PyramidServes:  st.PyramidServes,
+		PyramidBuilds:  st.PyramidBuilds,
 
 		SchedStripes:    st.SchedStripes,
 		SchedLen:        st.SchedLen,
@@ -336,6 +346,38 @@ func FromPrefetchStats(st mobiquery.PrefetchStats) PrefetchStats {
 		CorridorMisses:      st.CorridorMisses,
 		CorridorMispredicts: st.CorridorMispredicts,
 		CorridorStaged:      st.CorridorStaged,
+	}
+}
+
+// TraceSpan is one traced period lifecycle on the wire: a line of the
+// NDJSON body of GET /v1/subscriptions/{id}/trace. Timestamps are
+// wall-clock nanoseconds; zero means the stage was never reached.
+type TraceSpan struct {
+	K           int    `json:"k"`
+	DueNS       int64  `json:"due_ns"`
+	ArmedNS     int64  `json:"armed_ns"`
+	PoppedNS    int64  `json:"popped_ns"`
+	EvalStartNS int64  `json:"eval_start_ns"`
+	EvalEndNS   int64  `json:"eval_end_ns"`
+	DeliveredNS int64  `json:"delivered_ns"`
+	Class       string `json:"class"`
+	Outcome     string `json:"outcome"`
+	Late        bool   `json:"late,omitempty"`
+}
+
+// FromPeriodSpan renders a traced period for the wire.
+func FromPeriodSpan(sp mobiquery.PeriodSpan) TraceSpan {
+	return TraceSpan{
+		K:           sp.K,
+		DueNS:       int64(sp.Due),
+		ArmedNS:     sp.ArmedNS,
+		PoppedNS:    sp.PoppedNS,
+		EvalStartNS: sp.EvalStartNS,
+		EvalEndNS:   sp.EvalEndNS,
+		DeliveredNS: sp.DeliveredNS,
+		Class:       sp.Class.String(),
+		Outcome:     sp.Outcome.String(),
+		Late:        sp.Late,
 	}
 }
 

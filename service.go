@@ -81,9 +81,10 @@ func (nc NetworkConfig) withDefaults() NetworkConfig {
 
 // serviceOptions collects the Open options.
 type serviceOptions struct {
-	buffer  int
-	aligned bool
-	tick    time.Duration
+	buffer     int
+	aligned    bool
+	tick       time.Duration
+	traceDepth int
 }
 
 // Option customizes an opened Service.
@@ -103,6 +104,21 @@ func WithResultBuffer(n int) Option {
 // (per-node random phases) is the realistic setting.
 func WithAlignedSampling() Option {
 	return func(o *serviceOptions) { o.aligned = true }
+}
+
+// WithTraceDepth sets how many recent period lifecycle spans each
+// subscription's trace ring retains (default 16; see
+// Subscription.TraceSpans). 0 disables tracing entirely — subscriptions
+// then carry no ring and the per-period tracing cost is one nil check.
+// The ring is allocated once at Subscribe, so tracing adds nothing to the
+// Advance hot path's allocation count at any depth.
+func WithTraceDepth(n int) Option {
+	return func(o *serviceOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.traceDepth = n
+	}
 }
 
 // WithRealTime drives the service clock from the wall clock: virtual time
@@ -129,6 +145,10 @@ type Service struct {
 	region geom.Rect
 	cell   float64
 	engine *core.QueryEngine
+
+	// obs is the service's instrumentation: metric families registered at
+	// Open so every hot-path record is a bare atomic update (observe.go).
+	obs *svcObs
 
 	// pyramids holds one aggregate tile pyramid per boundary class — the
 	// (period, freshness, phase) tuple whose subscriptions share the exact
@@ -179,7 +199,7 @@ func Open(ctx context.Context, nc NetworkConfig, opts ...Option) (*Service, erro
 	if err := nc.Validate(); err != nil {
 		return nil, err
 	}
-	o := serviceOptions{buffer: 16}
+	o := serviceOptions{buffer: 16, traceDepth: 16}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -210,6 +230,7 @@ func Open(ctx context.Context, nc NetworkConfig, opts ...Option) (*Service, erro
 		stop:     make(chan struct{}),
 	}
 	engine.SetSampler(s.sampler())
+	s.obs = newSvcObs(s)
 
 	// Node placement matches the scale harness: one serial RNG drained up
 	// front, so the field depends only on the seed.
@@ -284,13 +305,15 @@ func (s *Service) pyramidFor(period, fresh time.Duration) (*pyramid.Pyramid, err
 // every boundary class, and the number of classes instantiated so far.
 func (s *Service) PyramidStats() (PyramidStats, int) {
 	s.mu.RLock()
-	pyrs := make([]*pyramid.Pyramid, 0, len(s.pyramids))
-	for _, p := range s.pyramids {
-		pyrs = append(pyrs, p)
-	}
-	s.mu.RUnlock()
+	defer s.mu.RUnlock()
+	return s.pyramidTotalsLocked()
+}
+
+// pyramidTotalsLocked sums every boundary class's ledger. Caller holds
+// s.mu (either mode); p.Stats() is pure atomics, so holding it is cheap.
+func (s *Service) pyramidTotalsLocked() (PyramidStats, int) {
 	var tot PyramidStats
-	for _, p := range pyrs {
+	for _, p := range s.pyramids {
 		st := p.Stats()
 		tot.Builds += st.Builds
 		tot.DirtyBuilds += st.DirtyBuilds
@@ -304,7 +327,7 @@ func (s *Service) PyramidStats() (PyramidStats, int) {
 		tot.CoveredTiles += st.CoveredTiles
 		tot.FringeCells += st.FringeCells
 	}
-	return tot, len(pyrs)
+	return tot, len(s.pyramids)
 }
 
 // splitmix64 is the SplitMix64 finalizer: a tiny, well-mixed integer hash.
@@ -412,30 +435,11 @@ type ServiceStats struct {
 // Stats returns the service-wide delivery ledger. Like Subscribers it
 // takes only the registry read lock, so introspection never blocks an
 // in-flight Advance batch; the totals are atomics and may trail a
-// concurrent delivery by an instant.
+// concurrent delivery by an instant. Callers that snapshot repeatedly
+// should use StatsInto (observe.go), which this wraps.
 func (s *Service) Stats() ServiceStats {
-	s.mu.RLock()
-	st := ServiceStats{
-		Now:         s.now,
-		Subscribers: len(s.subs),
-		Draining:    s.draining,
-	}
-	s.mu.RUnlock()
-	st.Nodes = s.engine.NodeCount()
-	st.Opened = s.totOpened.Load()
-	st.Closed = s.totClosed.Load()
-	st.Delivered = s.totDelivered.Load()
-	st.Dropped = s.totDropped.Load()
-	st.Late = s.totLate.Load()
-	ps, classes := s.PyramidStats()
-	st.PyramidClasses = classes
-	st.PyramidServes = ps.Served
-	st.PyramidBuilds = ps.Builds
-	ss := s.engine.ScheduleStats()
-	st.SchedStripes = ss.Stripes
-	st.SchedLen = ss.Len
-	st.SchedStripeLens = ss.StripeLens
-	st.SchedMergeDepth = ss.LastMergeDepth
+	var st ServiceStats
+	s.StatsInto(&st)
 	return st
 }
 
@@ -473,11 +477,22 @@ func (s *Service) Advance(d time.Duration) error {
 
 	// Collect the due batch: one entry per subscription with a period
 	// boundary reached, in (due, id) order. Nothing due — the common case
-	// for a fine-grained clock over long-period queries — is a peek.
+	// for a fine-grained clock over long-period queries — is a peek. The
+	// stage stamps below are wall-clock reads and atomic histogram updates
+	// only, so the instrumented idle path stays 0-alloc (bench-idle-1m).
+	o := s.obs
+	tickStart := time.Now()
 	s.due = s.engine.PopDue(now, s.due[:0])
+	popEnd := time.Now()
+	o.ticks.Inc()
+	o.stagePop.Observe(popEnd.Sub(tickStart).Nanoseconds())
 	if len(s.due) == 0 {
+		o.idleTicks.Inc()
 		return nil
 	}
+	o.popBatch.Observe(int64(len(s.due)))
+	o.mergeDepth.Observe(int64(s.engine.LastMergeDepth()))
+	poppedNS := popEnd.UnixNano()
 	s.batch = s.batch[:0]
 	s.mu.RLock()
 	for _, de := range s.due {
@@ -505,13 +520,17 @@ func (s *Service) Advance(d time.Duration) error {
 	outs, batch := s.outs[:len(s.batch)], s.batch
 	rearms := s.rearms
 	s.engine.DispatchWorkers(len(batch), func(worker, i int) {
-		outs[i] = batch[i].collectDue(now, outs[i][:0], rearms[worker])
+		outs[i] = batch[i].collectDue(now, poppedNS, outs[i][:0], rearms[worker])
 	})
+	evalEnd := time.Now()
+	o.stageEval.Observe(evalEnd.Sub(popEnd).Nanoseconds())
 	// Flush the workers' deferred re-arms, one schedule stripe lock hold
 	// per stripe per worker, so the next PopDue sees every next boundary.
 	for _, rb := range rearms {
 		s.engine.FlushRearms(rb)
 	}
+	flushEnd := time.Now()
+	o.stageFlush.Observe(flushEnd.Sub(evalEnd).Nanoseconds())
 
 	// Deliver serially in deterministic (deadline, id) order — the same
 	// total order the old collect-then-sort produced, but as a streaming
@@ -564,7 +583,7 @@ func (s *Service) Advance(d time.Duration) error {
 		if p.expire {
 			s.removeSub(p.sub)
 		} else {
-			p.sub.deliver(&p.result)
+			p.sub.deliver(&p.result, &p.span)
 		}
 		cur[l]++
 		if cur[l] == len(outs[l]) {
@@ -573,6 +592,7 @@ func (s *Service) Advance(d time.Duration) error {
 		}
 		sift(0, n)
 	}
+	o.stageDeliver.Observe(time.Since(flushEnd).Nanoseconds())
 	// Zero the pointer-holding scratch so a burst-sized batch doesn't pin
 	// closed subscriptions for the life of the service. Capacities are
 	// kept; only the windows used this step hold non-zero data.

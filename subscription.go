@@ -11,6 +11,7 @@ import (
 	"mobiquery/internal/corridor"
 	"mobiquery/internal/geom"
 	"mobiquery/internal/mobility"
+	"mobiquery/internal/obs"
 	"mobiquery/internal/prefetch"
 	"mobiquery/internal/pyramid"
 )
@@ -393,6 +394,17 @@ type Subscription struct {
 	// too small to benefit. Installed once at Subscribe.
 	pyramid *pyramid.Pyramid
 
+	// trace is the fixed-depth ring of recent period lifecycle spans
+	// (TraceSpans); nil when the service was opened with WithTraceDepth(0).
+	// Allocated once at Subscribe so the Advance path never does.
+	// lastArmedNS is the wall time this subscription's schedule entry was
+	// last re-armed — the end of the previous period's evaluation, or the
+	// Subscribe instant — giving each span its armed→popped scheduler wait.
+	// Written only from collectDue (serialized per subscription) and
+	// Subscribe (before the subscription is visible to Advance).
+	trace       *obs.TraceRing
+	lastArmedNS int64
+
 	// profiles is the predicted-profile stream of a ProfileSource-backed
 	// subscription (absolute service times), with nextProfile the first
 	// undelivered index; lastEvalPos/lastEvalAt remember the previous
@@ -424,6 +436,10 @@ type pendingResult struct {
 	due    time.Duration
 	result QueryResult
 	expire bool
+	// span is the period's lifecycle record so far (armed → popped →
+	// evaluated); deliver finishes it with the outcome stamp and hands it
+	// to the subscription's trace ring.
+	span obs.PeriodSpan
 }
 
 // Subscribe registers a streaming query for a mobile user whose position
@@ -461,8 +477,10 @@ func (s *Service) Subscribe(ctx context.Context, spec QuerySpec, src MotionSourc
 		agg:     agg,
 		results: make(chan QueryResult, s.opts.buffer),
 		done:    make(chan struct{}),
+		trace:   obs.NewTraceRing(s.opts.traceDepth),
 	}
 	sub.stats.NextPeriod = 1
+	sub.lastArmedNS = time.Now().UnixNano()
 	var planner *prefetch.Planner
 	var cache *corridor.Cache
 	if spec.Strategy.Prefetching() {
@@ -656,7 +674,9 @@ func (sub *Subscription) close() {
 // the merged serial phase. Schedule re-arms go into the worker's private
 // rb — Advance flushes each worker's batch once per stripe after the
 // dispatch, so parallel workers never contend on the schedule locks.
-func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult, rb *core.RearmBatch) []pendingResult {
+// poppedNS is the wall time the Advance step's PopDue completed — the
+// popped stamp shared by every span of the batch.
+func (sub *Subscription) collectDue(now time.Duration, poppedNS int64, buf []pendingResult, rb *core.RearmBatch) []pendingResult {
 	eng := sub.svc.engine
 	for {
 		sub.mu.Lock()
@@ -698,10 +718,27 @@ func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult, rb *
 			pos = sub.src.PositionAt(due - sub.t0)
 		}
 		eng.UpdateWaypoint(sub.id, pos)
+		evalStartNS := time.Now().UnixNano()
 		wr, ok := eng.EvaluateDueBatch(sub.id, now, rb)
+		evalEndNS := time.Now().UnixNano()
 		if !ok {
 			return buf
 		}
+		// Classify the serve: the classes partition evaluated periods, so
+		// the per-class counters sum to the delivery ledger (delivered +
+		// dropped), which the loopback reconciliation test pins.
+		class := obs.ClassCold
+		switch {
+		case wr.PyramidHit:
+			class = obs.ClassPyramid
+		case wr.CorridorHit:
+			class = obs.ClassCorridor
+		case sub.planner != nil:
+			class = obs.ClassPlanned
+		}
+		so := sub.svc.obs
+		so.classCount[class].Inc()
+		so.classEval[class].Observe(evalEndNS - evalStartNS)
 		if sub.planner != nil {
 			sub.planner.NoteServed(wr.Prefetched)
 		}
@@ -726,7 +763,22 @@ func (sub *Subscription) collectDue(now time.Duration, buf []pendingResult, rb *
 			sub.corridor.StageThrough(wr.Due)
 		}
 		sub.lastEvalPos, sub.lastEvalAt, sub.haveEval = pos, wr.Due, true
-		buf = append(buf, pendingResult{sub: sub, due: wr.Due, result: sub.makeResult(wr)})
+		buf = append(buf, pendingResult{
+			sub: sub, due: wr.Due, result: sub.makeResult(wr),
+			span: obs.PeriodSpan{
+				K:           wr.K,
+				Due:         wr.Due,
+				ArmedNS:     sub.lastArmedNS,
+				PoppedNS:    poppedNS,
+				EvalStartNS: evalStartNS,
+				EvalEndNS:   evalEndNS,
+				Class:       class,
+				Late:        wr.Late,
+			},
+		})
+		// The evaluation just re-armed the schedule at the next boundary;
+		// that instant is the next span's armed stamp.
+		sub.lastArmedNS = evalEndNS
 	}
 }
 
@@ -777,11 +829,18 @@ func (sub *Subscription) makeResult(wr core.WindowResult) QueryResult {
 
 // deliver hands one evaluated period to the subscriber, keeping the
 // drop-vs-deliver ledger: when the buffer is full the result is discarded
-// and counted in Stats().Dropped rather than stalling the service.
-func (sub *Subscription) deliver(r *QueryResult) {
+// and counted in Stats().Dropped rather than stalling the service. span is
+// the period's lifecycle record; deliver stamps its outcome and hands it
+// to the trace ring (a no-op when tracing is disabled).
+func (sub *Subscription) deliver(r *QueryResult, span *obs.PeriodSpan) {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	if sub.closed {
+		// The period was evaluated but the subscription closed mid-tick:
+		// the result has nowhere to go, so count it against the service
+		// drop ledger — the per-class evaluated counters were already
+		// bumped, and they must keep partitioning delivered + dropped.
+		sub.svc.totDropped.Add(1)
 		return
 	}
 	sub.stats.NextPeriod = r.K + 1
@@ -789,12 +848,29 @@ func (sub *Subscription) deliver(r *QueryResult) {
 		sub.stats.Late++
 		sub.svc.totLate.Add(1)
 	}
+	outcome := obs.OutcomeDelivered
 	select {
 	case sub.results <- *r:
 		sub.stats.Delivered++
 		sub.svc.totDelivered.Add(1)
 	default:
+		outcome = obs.OutcomeDropped
 		sub.stats.Dropped++
 		sub.svc.totDropped.Add(1)
 	}
+	if sub.trace != nil {
+		span.DeliveredNS = time.Now().UnixNano()
+		span.Outcome = outcome
+		sub.trace.Record(span)
+	}
+}
+
+// TraceSpans appends the subscription's recent period lifecycle spans to
+// buf, oldest first, and returns the result: one span per evaluated period
+// still in the trace ring, stamped armed → popped → evaluated →
+// delivered/dropped with its serve class. The ring keeps the last
+// WithTraceDepth spans (default 16); with tracing disabled it is always
+// empty. Safe for concurrent use with a running service.
+func (sub *Subscription) TraceSpans(buf []PeriodSpan) []PeriodSpan {
+	return sub.trace.Snapshot(buf)
 }
