@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-compare bench-idle-1m serve-smoke slo-compare obs-smoke fmt vet check
+.PHONY: all build test race bench bench-json bench-compare bench-idle-1m serve-smoke slo-compare obs-smoke trace-smoke fmt vet check
 
 all: build
 
@@ -51,14 +51,17 @@ bench-idle-1m:
 	$(GO) test -run=xxx -bench='^BenchmarkAdvance1M$$/^Idle$$' -benchtime=1x .
 
 # Build the network front-end and drive it with a short seeded workload;
-# writes the SLO_pr.json artifact CI uploads and slo-compare gates, plus
+# writes the SLO_pr.json artifact CI uploads and slo-compare gates,
 # METRICS_pr.txt — a mid-run /metrics scrape, validated in-process and
-# again by obs-smoke. The parameters mirror the CI smoke job: small field,
-# sub-second periods, an elasticity wave landing mid-run.
+# again by obs-smoke — and TRACE_pr.ndjson, the joined client+server trace
+# log trace-smoke validates. The parameters mirror the CI smoke job: small
+# field, sub-second periods, an elasticity wave landing mid-run, every
+# second subscription traced.
 serve-smoke:
 	$(GO) build -o bin/mobiquery-serve ./cmd/mobiquery-serve
 	$(GO) run ./cmd/mobiquery-loadgen -serve bin/mobiquery-serve -out SLO_pr.json \
-		-metrics-out METRICS_pr.txt \
+		-metrics-out METRICS_pr.txt -metrics-final-out METRICS_final.txt \
+		-trace-out TRACE_pr.ndjson -trace-every 2 \
 		-nodes 2000 -tick 20ms -workers 8 -warmup 1s -duration 6s \
 		-wave-workers 8 -wave-at 3s -period 200ms -deadline 100ms \
 		-fresh 200ms -lifetime 1s -jit-every 4 -course-every 5 \
@@ -80,6 +83,17 @@ slo-compare: serve-smoke
 obs-smoke: serve-smoke
 	$(GO) run ./cmd/mobiquery-slocmp -expfmt METRICS_pr.txt
 
+# Validate the trace log serve-smoke wrote and render the lateness
+# attribution table: span-id derivation, monotone segment chains, no
+# duplicates, and per-class traced counts reconciled against the
+# END-of-run /metrics ledger (the mid-run METRICS_pr.txt scrape predates
+# the log's later spans, so only the final scrape's counters cover every
+# span). -check makes any integrity violation fail the build;
+# TRACE_attrib.txt is the CI artifact.
+trace-smoke: serve-smoke
+	$(GO) run ./cmd/mobiquery-tracestat -trace TRACE_pr.ndjson \
+		-metrics METRICS_final.txt -out TRACE_attrib.txt -check
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -89,7 +103,7 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# serve-smoke is a prerequisite of both slo-compare and obs-smoke; make
-# runs it once per invocation, so check drives one smoke run and gates
-# both artifacts off it.
-check: build fmt vet test race bench-compare slo-compare obs-smoke
+# serve-smoke is a prerequisite of slo-compare, obs-smoke, and
+# trace-smoke; make runs it once per invocation, so check drives one
+# smoke run and gates all three artifacts off it.
+check: build fmt vet test race bench-compare slo-compare obs-smoke trace-smoke

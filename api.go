@@ -287,6 +287,13 @@ type QueryResult struct {
 	// result under QuerySpec.Window (fewer than Window during the first
 	// results); 0 for ordinary single-period results.
 	WindowPeriods int
+
+	// Trace is the period's completed server-side lifecycle span, set only
+	// when the subscription carries a trace context (QuerySpec.Trace != 0)
+	// so untraced sessions pay nothing for it. The network front-end echoes
+	// it on the result frame, letting the client join its own receive
+	// timestamp onto the server's segment chain.
+	Trace *PeriodSpan
 }
 
 // PrefetchStats is a prefetching subscription's planner ledger

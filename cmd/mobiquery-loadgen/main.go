@@ -66,6 +66,9 @@ func run(args []string) error {
 		nodes    = fs.Int("nodes", 2000, "spawned server: sensor node count")
 		tick     = fs.Duration("tick", 20*time.Millisecond, "spawned server: real-time clock tick")
 		metrOut  = fs.String("metrics-out", "", "scrape BASE/metrics mid-run, validate the exposition, and write it to this file")
+		metrFin  = fs.String("metrics-final-out", "", "scrape BASE/metrics after the run drains and write it to this file (the ledger mobiquery-tracestat reconciles the trace log against: counters as of after the last span)")
+		traceOut = fs.String("trace-out", "", "write the joined client+server trace log (NDJSON) to this file")
+		traceN   = fs.Int("trace-every", 2, "every Nth subscription carries a trace context (with -trace-out; 0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +111,9 @@ func run(args []string) error {
 	if *largeR > 0 {
 		cfg.LargeEvery = *largeN
 	}
+	if *traceOut != "" {
+		cfg.TraceEvery = *traceN
+	}
 	if err := loadgen.WaitReady(http.DefaultClient, base, 10*time.Second); err != nil {
 		return err
 	}
@@ -121,7 +127,7 @@ func run(args []string) error {
 			scrapec <- scrapeMetrics(base)
 		}()
 	}
-	rep, err := loadgen.Run(context.Background(), cfg)
+	rep, traces, err := loadgen.Run(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -136,11 +142,34 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote %s (%d families, %d samples)\n", *metrOut, sc.families, sc.samples)
 	}
+	// The final scrape happens after Run has drained every stream, so its
+	// counters cover every span in the trace log — the mid-run scrape
+	// above cannot (counters keep advancing after it), which is why trace
+	// reconciliation gets its own exposition.
+	if *metrFin != "" {
+		sc := scrapeMetrics(base)
+		if sc.err != nil {
+			return fmt.Errorf("final metrics scrape: %w", sc.err)
+		}
+		if err := os.WriteFile(*metrFin, sc.body, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d families, %d samples)\n", *metrFin, sc.families, sc.samples)
+	}
 	if *out != "-" {
 		if err := rep.WriteFile(*out); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if *traceOut != "" {
+		if err := traces.WriteFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d spans)\n", *traceOut, len(traces.Spans))
+		if cfg.TraceEvery > 0 && len(traces.Spans) == 0 {
+			return fmt.Errorf("traced run produced no spans — tracing is broken end to end")
+		}
 	}
 	if rep.Totals.Errors > 0 {
 		return fmt.Errorf("%d subscribe errors during the run", rep.Totals.Errors)

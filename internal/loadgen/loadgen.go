@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -31,8 +32,53 @@ import (
 	"sync"
 	"time"
 
+	"mobiquery/internal/obs"
 	"mobiquery/internal/wire"
 )
+
+// TraceLog is the client side of a traced run: every traced period's
+// server span joined with the client's own stamps, in arrival order —
+// the TRACE_pr.ndjson artifact mobiquery-tracestat validates.
+type TraceLog struct {
+	Spans []wire.ClientSpan
+}
+
+// WriteFile writes the log as NDJSON, one ClientSpan per line.
+func (t *TraceLog) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := wire.NewEncoder(f)
+	for i := range t.Spans {
+		if err := enc.Encode(&t.Spans[i]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// ReadTraceLog loads a TRACE_pr.ndjson artifact.
+func ReadTraceLog(path string) (*TraceLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := wire.NewDecoder(f)
+	var t TraceLog
+	for {
+		var cs wire.ClientSpan
+		if err := dec.Decode(&cs); err != nil {
+			if err == io.EOF {
+				return &t, nil
+			}
+			return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+		}
+		t.Spans = append(t.Spans, cs)
+	}
+}
 
 // Config shapes one load-generation run.
 type Config struct {
@@ -81,6 +127,12 @@ type Config struct {
 	// pyramid to non-prefetching queries.
 	LargeEvery  int     `json:"large_every,omitempty"`
 	LargeRadius float64 `json:"large_radius_m,omitempty"`
+	// TraceEvery mints a trace context on every Nth subscription (0 =
+	// never): the server echoes each traced period's lifecycle span on its
+	// result frame, and the client joins its own send/ack/receive stamps
+	// into the TraceLog (TRACE_pr.ndjson). Trace ids derive from Seed and
+	// the subscription number, so traced runs are reproducible too.
+	TraceEvery int `json:"trace_every,omitempty"`
 }
 
 // Validate reports configuration errors.
@@ -104,8 +156,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("loadgen: need 0 < RadiusMin <= RadiusMax, got %v/%v", c.RadiusMin, c.RadiusMax)
 	case c.Region <= 0:
 		return fmt.Errorf("loadgen: Region must be positive, got %v", c.Region)
-	case c.JITEvery < 0 || c.CourseEvery < 0 || c.LargeEvery < 0:
-		return fmt.Errorf("loadgen: JITEvery, CourseEvery, and LargeEvery must be non-negative")
+	case c.JITEvery < 0 || c.CourseEvery < 0 || c.LargeEvery < 0 || c.TraceEvery < 0:
+		return fmt.Errorf("loadgen: JITEvery, CourseEvery, LargeEvery, and TraceEvery must be non-negative")
 	case c.LargeEvery > 0 && c.LargeRadius <= 0:
 		return fmt.Errorf("loadgen: LargeEvery %d needs a positive LargeRadius, got %v", c.LargeEvery, c.LargeRadius)
 	}
@@ -271,6 +323,9 @@ func WaitReady(client *http.Client, base string, timeout time.Duration) error {
 type collector struct {
 	mu     sync.Mutex
 	phases map[string]*phaseAcc
+	// spans is the run's joined client+server trace log, in arrival order
+	// (empty without Config.TraceEvery).
+	spans []wire.ClientSpan
 }
 
 type phaseAcc struct {
@@ -334,6 +389,9 @@ func request(cfg Config, n int) wire.SubscribeRequest {
 	speed := 1 + 3*rng.Float64()
 	motion.VXMPS = speed * math.Cos(heading)
 	motion.VYMPS = speed * math.Sin(heading)
+	if cfg.TraceEvery > 0 && n%cfg.TraceEvery == 0 {
+		spec.TraceID = wire.FormatID(traceIDFor(cfg.Seed, n))
+	}
 	if cfg.CourseEvery > 0 && n%cfg.CourseEvery == 0 {
 		motion = wire.Motion{
 			Kind: "course", XM: x, YM: y,
@@ -349,6 +407,16 @@ func request(cfg Config, n int) wire.SubscribeRequest {
 		}
 	}
 	return wire.SubscribeRequest{Spec: spec, Motion: motion}
+}
+
+// traceIDFor mints the deterministic, non-zero trace id of global
+// subscription n in a run seeded with seed.
+func traceIDFor(seed int64, n int) uint64 {
+	tid := uint64(obs.MintSpanID(obs.TraceID(seed), n+1))
+	if tid == 0 {
+		tid = 1 // 0 means untraced; the finalizer all but never lands here
+	}
+	return tid
 }
 
 // runOnce executes one full subscription lifecycle and records it.
@@ -373,9 +441,11 @@ func (w *worker) runOnce(ctx context.Context, n int) {
 
 	var results, late int
 	var lateNss []float64
+	var spans []wire.ClientSpan
 	var dropped int
 	for {
 		f, err := st.Next()
+		recvAt := time.Now()
 		if err != nil {
 			break // disconnect or shutdown mid-stream: keep what we saw
 		}
@@ -387,6 +457,17 @@ func (w *worker) runOnce(ctx context.Context, n int) {
 		}
 		if f.Type != wire.FrameResult {
 			continue
+		}
+		if f.Result.Trace != nil {
+			// A traced period: join the server's echoed span with this
+			// stream's client-side stamps.
+			spans = append(spans, wire.ClientSpan{
+				Sub:    st.Ack.ID,
+				SendNS: t0.UnixNano(),
+				AckNS:  ackAt.UnixNano(),
+				RecvNS: recvAt.UnixNano(),
+				Server: *f.Result.Trace,
+			})
 		}
 		// The ack anchors the clock: result k is due (Deadline - ackNow)
 		// after the ack, modulo one server tick. Early arrivals clamp to
@@ -411,15 +492,17 @@ func (w *worker) runOnce(ctx context.Context, n int) {
 	a.Results += results
 	a.Late += late
 	a.Dropped += dropped
+	w.col.spans = append(w.col.spans, spans...)
 	w.col.mu.Unlock()
 }
 
 // Run executes the configured load against the server and assembles the
-// report. It returns once the run window has elapsed and every worker
-// has drained.
-func Run(ctx context.Context, cfg Config) (*Report, error) {
+// report plus the run's trace log (empty, never nil, without
+// Config.TraceEvery). It returns once the run window has elapsed and
+// every worker has drained.
+func Run(ctx context.Context, cfg Config) (*Report, *TraceLog, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	client := &Client{Base: cfg.Addr, HTTP: &http.Client{}}
 	col := newCollector()
@@ -485,7 +568,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 	rep.Totals.SubsPerSec = float64(measured) / cfg.Duration.Seconds()
-	return rep, nil
+	return rep, &TraceLog{Spans: col.spans}, nil
 }
 
 // openLoop starts subscriptions at cfg.Rate/Workers per second from this

@@ -50,6 +50,7 @@ func smokeConfig(addr string) Config {
 		CourseEvery: 3,
 		LargeEvery:  4,
 		LargeRadius: 200,
+		TraceEvery:  2,
 	}
 }
 
@@ -58,7 +59,7 @@ func TestRunClosedLoopWithWave(t *testing.T) {
 	if err := WaitReady(ts.Client(), ts.URL, 5*time.Second); err != nil {
 		t.Fatalf("WaitReady: %v", err)
 	}
-	rep, err := Run(context.Background(), smokeConfig(ts.URL))
+	rep, traces, err := Run(context.Background(), smokeConfig(ts.URL))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -114,6 +115,34 @@ func TestRunClosedLoopWithWave(t *testing.T) {
 	if got.Totals != rep.Totals {
 		t.Errorf("totals changed on disk: %+v vs %+v", got.Totals, rep.Totals)
 	}
+
+	// TraceEvery joined client stamps onto echoed server spans, and the
+	// trace log round-trips through disk.
+	if len(traces.Spans) == 0 {
+		t.Fatal("traced run collected no client spans")
+	}
+	for i, cs := range traces.Spans {
+		if cs.Server.TraceID == "" || cs.Server.SpanID == "" {
+			t.Fatalf("span %d missing trace context: %+v", i, cs.Server)
+		}
+		if cs.SendNS > cs.AckNS || cs.AckNS > cs.RecvNS {
+			t.Fatalf("span %d client stamps out of order: %+v", i, cs)
+		}
+		if cs.Server.WireNS == 0 {
+			t.Fatalf("span %d missing the server wire-write stamp: %+v", i, cs.Server)
+		}
+	}
+	tpath := filepath.Join(t.TempDir(), "TRACE_pr.ndjson")
+	if err := traces.WriteFile(tpath); err != nil {
+		t.Fatalf("TraceLog.WriteFile: %v", err)
+	}
+	tgot, err := ReadTraceLog(tpath)
+	if err != nil {
+		t.Fatalf("ReadTraceLog: %v", err)
+	}
+	if len(tgot.Spans) != len(traces.Spans) || tgot.Spans[0] != traces.Spans[0] {
+		t.Errorf("trace log changed on disk: %d vs %d spans", len(tgot.Spans), len(traces.Spans))
+	}
 }
 
 func TestRunOpenLoop(t *testing.T) {
@@ -123,7 +152,7 @@ func TestRunOpenLoop(t *testing.T) {
 	cfg.Rate = 20
 	cfg.WaveWorkers = 0
 	cfg.Duration = 600 * time.Millisecond
-	rep, err := Run(context.Background(), cfg)
+	rep, _, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -157,6 +186,13 @@ func TestSeededRequestsAreDeterministic(t *testing.T) {
 	}
 	if r := request(cfg, 2); r.Spec.RadiusM == cfg.LargeRadius {
 		t.Error("subscription 2 should draw from [RadiusMin, RadiusMax]")
+	}
+	// TraceEvery mints deterministic trace ids on its stripe only.
+	if request(cfg, 2).Spec.TraceID == "" {
+		t.Error("subscription 2 should carry a trace context under TraceEvery=2")
+	}
+	if request(cfg, 1).Spec.TraceID != "" {
+		t.Error("subscription 1 should be untraced under TraceEvery=2")
 	}
 }
 

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzValidateExposition throws arbitrary scrape bodies at the validator.
+// The properties: it never panics, it is deterministic, an accepted
+// exposition's counts are sane (samples only exist under a family or as
+// untyped lines the validator rejects, so families > 0 whenever
+// samples > 0), and acceptance is insensitive to a trailing newline.
+func FuzzValidateExposition(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n",
+		"# just a comment\n",
+		"# HELP ok fine\n# TYPE ok counter\nok 1\n",
+		"# TYPE ok counter\nok{a=\"x,y\",b=\"z\"} 3 1700000000000\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1.5\nh_count 3\n",
+		"# TYPE g gauge\ng 0\ng{x=\"1\"} -2.5e-3\n",
+		"# TYPE ok counter\nok{path=\"/v1/{id}/trace\",q=\"a\\\"b}\"} 3\n",
+		// Known-invalid shapes, so mutation starts near the boundaries.
+		"1bad 3\n",
+		"# TYPE ok counter\nok abc\n",
+		"# TYPE ok counter\nok{a=\"x 3\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"# TYPE ok counter\n# TYPE ok counter\nok 1\n",
+		"# TYPE ok widget\nok 1\n",
+		"# TYPE ok counter\nok NaN\nok{} +Inf\n",
+		"# TYPE \xff\xfe counter\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		families, samples, err := ValidateExposition(strings.NewReader(in))
+		f2, s2, err2 := ValidateExposition(strings.NewReader(in))
+		if families != f2 || samples != s2 || (err == nil) != (err2 == nil) {
+			t.Fatalf("validator is nondeterministic: (%d,%d,%v) vs (%d,%d,%v)",
+				families, samples, err, f2, s2, err2)
+		}
+		if err != nil {
+			return
+		}
+		if families < 0 || samples < 0 {
+			t.Fatalf("negative counts: %d families, %d samples", families, samples)
+		}
+		if samples > 0 && families == 0 {
+			t.Fatalf("%d samples accepted with no TYPE line", samples)
+		}
+		// A valid exposition stays valid with a trailing blank line.
+		if _, _, err := ValidateExposition(strings.NewReader(in + "\n")); err != nil {
+			t.Fatalf("trailing newline flipped acceptance: %v", err)
+		}
+	})
+}

@@ -42,6 +42,23 @@ func (c Class) String() string {
 	}
 }
 
+// ParseClass is the inverse of Class.String; ok is false for unknown
+// names (including "unknown" itself, which no real span carries).
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "cold":
+		return ClassCold, true
+	case "planned":
+		return ClassPlanned, true
+	case "corridor":
+		return ClassCorridor, true
+	case "pyramid":
+		return ClassPyramid, true
+	default:
+		return 0, false
+	}
+}
+
 // Outcome is how a period span ended.
 type Outcome uint8
 
@@ -61,21 +78,68 @@ func (o Outcome) String() string {
 	return "delivered"
 }
 
+// ParseOutcome is the inverse of Outcome.String.
+func ParseOutcome(s string) (Outcome, bool) {
+	switch s {
+	case "delivered":
+		return OutcomeDelivered, true
+	case "dropped":
+		return OutcomeDropped, true
+	default:
+		return 0, false
+	}
+}
+
+// TraceID identifies one subscription's causal trace across tiers: minted
+// by the client (wire trace context) or the embedder, carried by every
+// span of the subscription, and echoed on result frames so client-side
+// receive stamps can be joined onto the server's segment chain. Zero
+// means untraced.
+type TraceID uint64
+
+// SpanID identifies one period's span within a trace. Span ids are not
+// random: MintSpanID derives them deterministically from (trace, period),
+// so both tiers — and any offline validator — can recompute the id a
+// span must carry, which makes orphaned or mis-joined spans detectable.
+type SpanID uint64
+
+// MintSpanID derives the span id for period k (1-based) of a trace. The
+// derivation is a SplitMix64 finalizer over the trace/period pair: cheap,
+// stateless, collision-free within a trace, and reproducible anywhere.
+func MintSpanID(t TraceID, k int) SpanID {
+	x := uint64(t) ^ (uint64(uint32(k)) * 0x9E3779B97F4A7C15)
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return SpanID(x ^ (x >> 31))
+}
+
 // PeriodSpan is one subscription period's lifecycle: stamped as it moves
-// armed → popped → evaluated → merged/delivered. Due is virtual service
-// time; the *NS fields are wall-clock unix nanoseconds, so stage latencies
-// are differences between consecutive stamps (Armed is the wall time the
-// period's schedule entry was last re-armed — the end of the previous
-// period's evaluation — so Popped-Armed is time spent waiting in the
-// scheduler).
+// armed → popped → evaluated → flushed → merged/delivered → written to
+// the wire. Due is virtual service time; the *NS fields are wall-clock
+// unix nanoseconds, so stage latencies are differences between
+// consecutive stamps (Armed is the wall time the period's schedule entry
+// was last re-armed — the end of the previous period's evaluation — so
+// Popped-Armed is time spent waiting in the scheduler; a catch-up period
+// drained in the same batch that armed it carries Popped == Armed, since
+// it never returned to the scheduler). FlushNS is when
+// the Advance step's schedule re-arms finished (shared by every span of
+// the step, like PoppedNS); WireNS is stamped by the network front-end
+// the instant the result frame is handed to the wire, and stays zero for
+// in-process deliveries. Trace and Span are zero unless the subscription
+// carries a trace context.
 type PeriodSpan struct {
+	Trace       TraceID
+	Span        SpanID
 	K           int           // 1-based period index
 	Due         time.Duration // virtual due time
 	ArmedNS     int64
 	PoppedNS    int64
 	EvalStartNS int64
 	EvalEndNS   int64
+	FlushNS     int64
 	DeliveredNS int64 // merge + delivery complete
+	WireNS      int64 // result frame written to the wire (networked only)
 	Class       Class
 	Outcome     Outcome
 	Late        bool
@@ -85,7 +149,8 @@ type PeriodSpan struct {
 // subscription. A nil ring is valid and ignores everything — tracing
 // disabled costs one nil check per period. Record and Snapshot are
 // mutually safe; Record is called from the delivery path (serialized per
-// subscription), Snapshot from introspection handlers.
+// subscription), Snapshot from introspection handlers, and both copy
+// under the mutex so a reader never observes a half-written span.
 type TraceRing struct {
 	mu    sync.Mutex
 	spans []PeriodSpan
@@ -118,7 +183,8 @@ func (r *TraceRing) Record(s *PeriodSpan) {
 }
 
 // Snapshot appends the ring's spans to buf, oldest first, and returns it.
-// A nil ring appends nothing.
+// A nil ring appends nothing. The appends allocate only when buf lacks
+// capacity, so a caller reusing its buffer snapshots allocation-free.
 func (r *TraceRing) Snapshot(buf []PeriodSpan) []PeriodSpan {
 	if r == nil {
 		return buf
@@ -129,4 +195,74 @@ func (r *TraceRing) Snapshot(buf []PeriodSpan) []PeriodSpan {
 		buf = append(buf, r.spans[r.next:]...)
 	}
 	return append(buf, r.spans[:r.next]...)
+}
+
+// SpanSink is the service-wide span firehose: a fixed ring every
+// completed period span is published into, regardless of subscription.
+// It is deliberately lossy — at capacity the oldest span is overwritten
+// and counted dropped — so the tick path pays one short mutex hold and a
+// struct copy per delivered period, never an allocation and never a
+// block on a slow reader. A nil sink ignores everything.
+type SpanSink struct {
+	mu        sync.Mutex
+	spans     []PeriodSpan
+	next      int
+	full      bool
+	published uint64
+	dropped   uint64
+}
+
+// NewSpanSink returns a sink ring-buffering the last depth spans;
+// depth <= 0 returns nil (firehose disabled).
+func NewSpanSink(depth int) *SpanSink {
+	if depth <= 0 {
+		return nil
+	}
+	return &SpanSink{spans: make([]PeriodSpan, depth)}
+}
+
+// Publish records one completed span, overwriting (and drop-counting)
+// the oldest at capacity. Allocation-free.
+func (s *SpanSink) Publish(sp *PeriodSpan) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.full {
+		s.dropped++
+	}
+	s.spans[s.next] = *sp
+	s.next++
+	if s.next == len(s.spans) {
+		s.next = 0
+		s.full = true
+	}
+	s.published++
+	s.mu.Unlock()
+}
+
+// Snapshot appends the sink's buffered spans to buf oldest first and
+// returns it along with the lifetime published and dropped counts as of
+// the snapshot instant.
+func (s *SpanSink) Snapshot(buf []PeriodSpan) (out []PeriodSpan, published, dropped uint64) {
+	if s == nil {
+		return buf, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.full {
+		buf = append(buf, s.spans[s.next:]...)
+	}
+	return append(buf, s.spans[:s.next]...), s.published, s.dropped
+}
+
+// Counts returns the lifetime published and dropped span counts — the
+// scrape-time sampling hook behind the firehose counters.
+func (s *SpanSink) Counts() (published, dropped uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.published, s.dropped
 }

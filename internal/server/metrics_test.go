@@ -89,8 +89,13 @@ func TestMetricsGolden(t *testing.T) {
 		"# TYPE mobiquery_advance_pop_batch histogram",
 		"# TYPE mobiquery_advance_stage_seconds histogram",
 		"# TYPE mobiquery_advance_ticks_total counter",
+		"# TYPE mobiquery_build_info gauge",
 		"# TYPE mobiquery_draining gauge",
 		"# TYPE mobiquery_evaluate_seconds histogram",
+		"# TYPE mobiquery_go_gc_pause_ns_total counter",
+		"# TYPE mobiquery_go_gomaxprocs gauge",
+		"# TYPE mobiquery_go_goroutines gauge",
+		"# TYPE mobiquery_go_heap_inuse_bytes gauge",
 		"# TYPE mobiquery_http_request_seconds histogram",
 		"# TYPE mobiquery_http_requests_total counter",
 		"# TYPE mobiquery_nodes gauge",
@@ -107,6 +112,8 @@ func TestMetricsGolden(t *testing.T) {
 		"# TYPE mobiquery_subscribers gauge",
 		"# TYPE mobiquery_subscriptions_closed_total counter",
 		"# TYPE mobiquery_subscriptions_opened_total counter",
+		"# TYPE mobiquery_trace_spans_dropped_total counter",
+		"# TYPE mobiquery_trace_spans_published_total counter",
 		"# TYPE mobiquery_virtual_time_ns gauge",
 	}
 	if len(types) != len(want) {
@@ -134,6 +141,28 @@ func TestMetricsGolden(t *testing.T) {
 			t.Errorf("%s = %v (present=%v), want %v", name, got, ok, v)
 		}
 	}
+	// Runtime self-metrics sample live values, and the build-info gauge
+	// carries the toolchain labels at constant 1.
+	var buildInfo bool
+	for k, v := range samples {
+		if strings.HasPrefix(k, `mobiquery_build_info{go_version="go`) &&
+			strings.Contains(k, `module="mobiquery"`) && v == 1 {
+			buildInfo = true
+		}
+	}
+	if !buildInfo {
+		t.Error("mobiquery_build_info{go_version=...,module=\"mobiquery\"} 1 missing")
+	}
+	if samples["mobiquery_go_gomaxprocs"] < 1 {
+		t.Errorf("gomaxprocs = %v, want >= 1", samples["mobiquery_go_gomaxprocs"])
+	}
+	if samples["mobiquery_go_goroutines"] < 1 {
+		t.Errorf("goroutines = %v, want >= 1", samples["mobiquery_go_goroutines"])
+	}
+	if samples["mobiquery_go_heap_inuse_bytes"] <= 0 {
+		t.Errorf("heap in-use = %v, want positive", samples["mobiquery_go_heap_inuse_bytes"])
+	}
+
 	// The advance route itself was hit four times before the scrape.
 	if got := samples[`mobiquery_http_requests_total{route="advance"}`]; got != 4 {
 		t.Errorf("advance route requests = %v, want 4", got)
@@ -198,8 +227,12 @@ func TestTraceEndpoint(t *testing.T) {
 			t.Errorf("span %d: empty class", i)
 		}
 		if !(sp.ArmedNS <= sp.PoppedNS && sp.PoppedNS <= sp.EvalStartNS &&
-			sp.EvalStartNS <= sp.EvalEndNS && sp.EvalEndNS <= sp.DeliveredNS) {
+			sp.EvalStartNS <= sp.EvalEndNS && sp.EvalEndNS <= sp.FlushNS &&
+			sp.FlushNS <= sp.DeliveredNS) {
 			t.Errorf("span %d: stamps out of stage order: %+v", i, sp)
+		}
+		if sp.TraceID != "" || sp.SpanID != "" {
+			t.Errorf("span %d: untraced subscription carries ids: %+v", i, sp)
 		}
 	}
 

@@ -14,6 +14,13 @@
 //	GET  /v1/stats                       service-wide delivery ledger
 //	GET  /v1/subscriptions/{id}/trace    recent period lifecycle spans,
 //	                                     one NDJSON line per period
+//	GET  /v1/trace                       service-wide span firehose: the
+//	                                     ring-buffered recent spans of every
+//	                                     subscription, one NDJSON line each,
+//	                                     bounded and lossy (drop-counted in
+//	                                     the X-Mobiquery-Trace-Dropped
+//	                                     header, never blocking the tick
+//	                                     path)
 //	POST /v1/subscribe                   body: one wire.SubscribeRequest;
 //	                                     response: ack, result*, end frames
 //	POST /v1/subscriptions/{id}/waypoints  body: wire.Waypoint per line,
@@ -92,6 +99,7 @@ func New(svc *mobiquery.Service, opts Options) *Server {
 	s.handle("POST /v1/subscriptions/{id}/waypoints", "waypoints", s.handleWaypoints)
 	s.handle("GET /v1/subscriptions/{id}/stats", "sub_stats", s.handleSubStats)
 	s.handle("GET /v1/subscriptions/{id}/trace", "trace", s.handleTrace)
+	s.handle("GET /v1/trace", "firehose", s.handleFirehose)
 	if opts.AllowAdvance {
 		s.handle("POST /v1/advance", "advance", s.handleAdvance)
 	}
@@ -165,6 +173,26 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleFirehose streams the service-wide span firehose: every completed
+// period span still in the ring, oldest first, one NDJSON line each. The
+// response is a bounded snapshot, not a tail — ring capacity caps the
+// body, and spans overwritten before this snapshot are only counted, so
+// the endpoint can never apply back-pressure to the tick path. The
+// lifetime published/dropped counts ride response headers (they are also
+// on /metrics as mobiquery_trace_spans_{published,dropped}_total).
+func (s *Server) handleFirehose(w http.ResponseWriter, r *http.Request) {
+	spans, published, dropped := s.svc.FirehoseSpans(nil)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Mobiquery-Trace-Published", strconv.FormatUint(published, 10))
+	w.Header().Set("X-Mobiquery-Trace-Dropped", strconv.FormatUint(dropped, 10))
+	enc := wire.NewEncoder(w)
+	for i := range spans {
+		if enc.Encode(wire.FromPeriodSpan(spans[i])) != nil {
+			return
+		}
+	}
+}
+
 // handleSubscribe opens a subscription from the request body and streams
 // its results until the subscription or the client goes away.
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
@@ -224,6 +252,13 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			rf := wire.FromResult(res)
+			if rf.Trace != nil {
+				// The wire-write stamp closes the server's segment chain:
+				// taken the instant the frame is handed to the wire, so
+				// the client's receive stamp measures only the network and
+				// its own scheduling.
+				rf.Trace.WireNS = time.Now().UnixNano()
+			}
 			f := wire.Frame{Type: wire.FrameResult, ID: sub.ID(), Result: &rf}
 			if enc.Encode(f) != nil || rc.Flush() != nil {
 				return

@@ -19,10 +19,39 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"mobiquery"
+	"mobiquery/internal/obs"
 )
+
+// FormatID renders a trace or span id as the wire's fixed-width lowercase
+// hex — 64-bit ids travel as strings because JSON numbers lose integer
+// precision past 2^53. FormatID(0) is "" (the untraced value omits).
+func FormatID(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = "0123456789abcdef"[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID is the inverse of FormatID; "" parses as 0 (untraced).
+func ParseID(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad trace/span id %q", s)
+	}
+	return v, nil
+}
 
 // Spec is QuerySpec on the wire. The zero values of the optional fields
 // select the same defaults the session API does (no deadline slack, no
@@ -47,6 +76,12 @@ type Spec struct {
 	CorridorLookahead int     `json:"corridor_lookahead,omitempty"`
 	ErrBaseM          float64 `json:"err_base_m,omitempty"`
 	ErrGrowthMPS      float64 `json:"err_growth_mps,omitempty"`
+	// TraceID is an optional client-minted trace context, 16 lowercase hex
+	// digits. When set, every result frame of the subscription echoes the
+	// period's server-side lifecycle span under that trace, letting the
+	// client join its own receive timestamps onto the server's segment
+	// chain. Empty leaves the subscription untraced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // aggNames maps the wire aggregation names; the zero AggKind means "use
@@ -92,6 +127,11 @@ func (s Spec) QuerySpec() (mobiquery.QuerySpec, error) {
 			ErrorModel: mobiquery.ErrorModel{Base: s.ErrBaseM, Growth: s.ErrGrowthMPS},
 		}
 	}
+	tid, err := ParseID(s.TraceID)
+	if err != nil {
+		return mobiquery.QuerySpec{}, err
+	}
+	q.Trace = mobiquery.TraceID(tid)
 	return q, nil
 }
 
@@ -194,11 +234,15 @@ type Result struct {
 	Warmup          bool    `json:"warmup,omitempty"`
 	PrefetchedNodes int     `json:"prefetched_nodes,omitempty"`
 	CorridorHit     bool    `json:"corridor_hit,omitempty"`
+	// Trace is the period's echoed server-side span, present only on
+	// traced subscriptions (Spec.TraceID set). The server stamps WireNS
+	// the instant the frame is handed to the wire.
+	Trace *TraceSpan `json:"trace,omitempty"`
 }
 
 // FromResult renders a session result for the wire.
 func FromResult(r mobiquery.QueryResult) Result {
-	return Result{
+	w := Result{
 		K:               r.K,
 		DeadlineNS:      int64(r.Deadline),
 		Received:        r.Received,
@@ -216,12 +260,17 @@ func FromResult(r mobiquery.QueryResult) Result {
 		PrefetchedNodes: r.PrefetchedNodes,
 		CorridorHit:     r.CorridorHit,
 	}
+	if r.Trace != nil {
+		ts := FromPeriodSpan(*r.Trace)
+		w.Trace = &ts
+	}
+	return w
 }
 
 // QueryResult reconstructs the session result the frame was rendered
 // from. FromResult and QueryResult are exact inverses.
 func (r Result) QueryResult() mobiquery.QueryResult {
-	return mobiquery.QueryResult{
+	q := mobiquery.QueryResult{
 		K:               r.K,
 		Deadline:        time.Duration(r.DeadlineNS),
 		Received:        r.Received,
@@ -239,6 +288,14 @@ func (r Result) QueryResult() mobiquery.QueryResult {
 		PrefetchedNodes: r.PrefetchedNodes,
 		CorridorHit:     r.CorridorHit,
 	}
+	if r.Trace != nil {
+		// A frame produced by FromResult always parses; a hand-built frame
+		// with an invalid class or outcome reconstructs with those fields
+		// zero rather than failing the whole result.
+		sp, _ := r.Trace.PeriodSpan()
+		q.Trace = &sp
+	}
+	return q
 }
 
 // SubStats is SubscriptionStats on the wire (an end frame, and the
@@ -350,16 +407,23 @@ func FromPrefetchStats(st mobiquery.PrefetchStats) PrefetchStats {
 }
 
 // TraceSpan is one traced period lifecycle on the wire: a line of the
-// NDJSON body of GET /v1/subscriptions/{id}/trace. Timestamps are
-// wall-clock nanoseconds; zero means the stage was never reached.
+// NDJSON bodies of GET /v1/subscriptions/{id}/trace and GET /v1/trace,
+// and the echo on a traced result frame. Timestamps are wall-clock
+// nanoseconds; zero means the stage was never reached. TraceID and
+// SpanID are fixed-width lowercase hex (FormatID), empty when the
+// subscription carries no trace context.
 type TraceSpan struct {
+	TraceID     string `json:"trace_id,omitempty"`
+	SpanID      string `json:"span_id,omitempty"`
 	K           int    `json:"k"`
 	DueNS       int64  `json:"due_ns"`
 	ArmedNS     int64  `json:"armed_ns"`
 	PoppedNS    int64  `json:"popped_ns"`
 	EvalStartNS int64  `json:"eval_start_ns"`
 	EvalEndNS   int64  `json:"eval_end_ns"`
+	FlushNS     int64  `json:"flush_ns"`
 	DeliveredNS int64  `json:"delivered_ns"`
+	WireNS      int64  `json:"wire_ns,omitempty"`
 	Class       string `json:"class"`
 	Outcome     string `json:"outcome"`
 	Late        bool   `json:"late,omitempty"`
@@ -368,17 +432,73 @@ type TraceSpan struct {
 // FromPeriodSpan renders a traced period for the wire.
 func FromPeriodSpan(sp mobiquery.PeriodSpan) TraceSpan {
 	return TraceSpan{
+		TraceID:     FormatID(uint64(sp.Trace)),
+		SpanID:      FormatID(uint64(sp.Span)),
 		K:           sp.K,
 		DueNS:       int64(sp.Due),
 		ArmedNS:     sp.ArmedNS,
 		PoppedNS:    sp.PoppedNS,
 		EvalStartNS: sp.EvalStartNS,
 		EvalEndNS:   sp.EvalEndNS,
+		FlushNS:     sp.FlushNS,
 		DeliveredNS: sp.DeliveredNS,
+		WireNS:      sp.WireNS,
 		Class:       sp.Class.String(),
 		Outcome:     sp.Outcome.String(),
 		Late:        sp.Late,
 	}
+}
+
+// PeriodSpan reconstructs the session span the wire form was rendered
+// from; FromPeriodSpan and PeriodSpan are exact inverses. The numeric
+// fields are filled even when an id, class, or outcome fails to parse —
+// the error then reports the first offender, with that field left zero.
+func (t TraceSpan) PeriodSpan() (mobiquery.PeriodSpan, error) {
+	sp := mobiquery.PeriodSpan{
+		K:           t.K,
+		Due:         time.Duration(t.DueNS),
+		ArmedNS:     t.ArmedNS,
+		PoppedNS:    t.PoppedNS,
+		EvalStartNS: t.EvalStartNS,
+		EvalEndNS:   t.EvalEndNS,
+		FlushNS:     t.FlushNS,
+		DeliveredNS: t.DeliveredNS,
+		WireNS:      t.WireNS,
+		Late:        t.Late,
+	}
+	tid, err := ParseID(t.TraceID)
+	if err != nil {
+		return sp, err
+	}
+	sid, err := ParseID(t.SpanID)
+	if err != nil {
+		return sp, err
+	}
+	sp.Trace, sp.Span = mobiquery.TraceID(tid), mobiquery.SpanID(sid)
+	class, ok := obs.ParseClass(t.Class)
+	if !ok {
+		return sp, fmt.Errorf("wire: unknown serve class %q", t.Class)
+	}
+	outcome, ok := obs.ParseOutcome(t.Outcome)
+	if !ok {
+		return sp, fmt.Errorf("wire: unknown span outcome %q", t.Outcome)
+	}
+	sp.Class, sp.Outcome = class, outcome
+	return sp, nil
+}
+
+// ClientSpan is one line of the loadgen's TRACE_pr.ndjson: the server's
+// echoed period span joined with the client's own wall-clock stamps for
+// the subscription — when the subscribe request was sent, when the ack
+// arrived, and when this result frame was read off the wire. Server and
+// client clocks are the same host under the smoke harness; across real
+// hosts the cross-tier segment (WireNS → RecvNS) absorbs the skew.
+type ClientSpan struct {
+	Sub    uint32    `json:"sub"`
+	SendNS int64     `json:"send_ns"`
+	AckNS  int64     `json:"ack_ns"`
+	RecvNS int64     `json:"recv_ns"`
+	Server TraceSpan `json:"server"`
 }
 
 // SubscriptionInfo is the body of GET /v1/subscriptions/{id}/stats.

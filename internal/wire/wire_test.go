@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mobiquery"
+	"mobiquery/internal/obs"
 )
 
 // fullResult exercises every QueryResult field with values that stress
@@ -246,3 +247,129 @@ func TestLedgerConversions(t *testing.T) {
 }
 
 func ptr[T any](v T) *T { return &v }
+
+// fullSpan exercises every PeriodSpan field.
+func fullSpan() mobiquery.PeriodSpan {
+	return mobiquery.PeriodSpan{
+		Trace:       mobiquery.TraceID(0xDEADBEEFCAFE0123),
+		Span:        mobiquery.MintSpanID(mobiquery.TraceID(0xDEADBEEFCAFE0123), 5),
+		K:           5,
+		Due:         10 * time.Second,
+		ArmedNS:     1_000,
+		PoppedNS:    2_000,
+		EvalStartNS: 3_000,
+		EvalEndNS:   4_000,
+		FlushNS:     4_500,
+		DeliveredNS: 5_000,
+		WireNS:      6_000,
+		Class:       obs.ClassPyramid,
+		Outcome:     obs.OutcomeDelivered,
+		Late:        true,
+	}
+}
+
+func TestFormatParseID(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xFF, 1 << 53, math.MaxUint64} {
+		s := FormatID(v)
+		if v == 0 {
+			if s != "" {
+				t.Fatalf("FormatID(0) = %q, want empty (untraced)", s)
+			}
+		} else if len(s) != 16 {
+			t.Fatalf("FormatID(%d) = %q, want 16 hex chars", v, s)
+		}
+		got, err := ParseID(s)
+		if err != nil || got != v {
+			t.Fatalf("ParseID(FormatID(%d)) = %d, %v", v, got, err)
+		}
+	}
+	for _, bad := range []string{"xyz", "-1", "10000000000000000ff"} {
+		if _, err := ParseID(bad); err == nil {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceSpanRoundTripExact(t *testing.T) {
+	orig := fullSpan()
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(FromPeriodSpan(orig)); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	raw := bytes.Clone(buf.Bytes())
+	var ts TraceSpan
+	if err := NewDecoder(&buf).Decode(&ts); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got, err := ts.PeriodSpan()
+	if err != nil {
+		t.Fatalf("PeriodSpan: %v", err)
+	}
+	if got != orig {
+		t.Errorf("round trip changed the span:\n got %+v\nwant %+v", got, orig)
+	}
+	// Ids ride as 16-char hex strings: uint64s above 2^53 do not survive
+	// JSON numbers, so the wire must never carry them numerically.
+	if !bytes.Contains(raw, []byte(`"trace_id":"deadbeefcafe0123"`)) {
+		t.Errorf("trace id not hex on the wire: %s", raw)
+	}
+
+	if _, err := (TraceSpan{TraceID: "zz"}).PeriodSpan(); err == nil {
+		t.Error("bad trace id accepted")
+	}
+	if _, err := (TraceSpan{Class: "psychic"}).PeriodSpan(); err == nil {
+		t.Error("bad class accepted")
+	}
+}
+
+// TestTracedResultRoundTrip pins the traced result frame: the span rides
+// the frame, and an untraced result's encoding is byte-identical to the
+// pre-tracing wire format (no "trace" key at all).
+func TestTracedResultRoundTrip(t *testing.T) {
+	orig := fullResult()
+	span := fullSpan()
+	orig.Trace = &span
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(FromResult(orig)); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var r Result
+	if err := NewDecoder(&buf).Decode(&r); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got := r.QueryResult()
+	if got.Trace == nil || *got.Trace != span {
+		t.Errorf("span changed on the wire:\n got %+v\nwant %+v", got.Trace, span)
+	}
+	got.Trace, orig.Trace = nil, nil
+	if got != orig {
+		t.Errorf("result fields changed:\n got %+v\nwant %+v", got, orig)
+	}
+
+	var untraced bytes.Buffer
+	if err := NewEncoder(&untraced).Encode(FromResult(fullResult())); err != nil {
+		t.Fatalf("encode untraced: %v", err)
+	}
+	if bytes.Contains(untraced.Bytes(), []byte("trace")) {
+		t.Errorf("untraced result leaks a trace key: %s", untraced.Bytes())
+	}
+}
+
+func TestSpecTraceIDConversion(t *testing.T) {
+	s := Spec{RadiusM: 100, PeriodNS: int64(time.Second), TraceID: "00000000000000ff"}
+	q, err := s.QuerySpec()
+	if err != nil {
+		t.Fatalf("QuerySpec: %v", err)
+	}
+	if q.Trace != 0xFF {
+		t.Errorf("trace id converted to %#x, want 0xff", uint64(q.Trace))
+	}
+	s.TraceID = ""
+	if q, err = s.QuerySpec(); err != nil || q.Trace != 0 {
+		t.Errorf("absent trace id: %v trace %#x, want untraced", err, uint64(q.Trace))
+	}
+	s.TraceID = "not-hex"
+	if _, err := s.QuerySpec(); err == nil {
+		t.Error("malformed trace id accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package mobiquery
 
 import (
+	"runtime"
 	"strconv"
 	"time"
 
@@ -18,6 +19,17 @@ type MetricsRegistry = obs.Registry
 // Subscription.TraceSpans): stage timestamps from armed through
 // delivered/dropped, the serve class, and the outcome.
 type PeriodSpan = obs.PeriodSpan
+
+// TraceID is a caller-minted trace context identifying one subscription's
+// causal trace across tiers (QuerySpec.Trace); zero means untraced.
+type TraceID = obs.TraceID
+
+// SpanID identifies one period's span within a trace; see MintSpanID.
+type SpanID = obs.SpanID
+
+// MintSpanID derives the deterministic span id for period k of a trace —
+// both tiers (and offline validators) recompute it rather than carry it.
+func MintSpanID(t TraceID, k int) SpanID { return obs.MintSpanID(t, k) }
 
 // Metrics returns the service's metrics registry. Every Service carries
 // one; render it with WritePrometheus (the server's GET /metrics does).
@@ -112,6 +124,34 @@ func newSvcObs(s *Service) *svcObs {
 		stripeG[i] = reg.Gauge("mobiquery_sched_stripe_entries",
 			`stripe="`+strconv.Itoa(i)+`"`, "armed schedule entries per stripe (balance under load)")
 	}
+
+	// Go runtime self-metrics and the span-firehose ledger ride the same
+	// scrape-time sampler: sampled just in time for each scrape, costing
+	// the running service nothing between scrapes.
+	heapG := reg.Gauge("mobiquery_go_heap_inuse_bytes", "", "heap bytes in in-use spans (runtime MemStats HeapInuse)")
+	gcPause := reg.Counter("mobiquery_go_gc_pause_ns_total", "", "cumulative GC stop-the-world pause, nanoseconds")
+	goroutinesG := reg.Gauge("mobiquery_go_goroutines", "", "live goroutines")
+	gomaxprocsG := reg.Gauge("mobiquery_go_gomaxprocs", "", "effective GOMAXPROCS")
+	buildInfo := reg.Gauge("mobiquery_build_info",
+		`go_version="`+runtime.Version()+`",module="mobiquery"`,
+		"constant 1, labeled with build metadata")
+	buildInfo.Set(1)
+	spansPub := reg.Counter("mobiquery_trace_spans_published_total", "",
+		"period spans published to the service span firehose")
+	spansDrop := reg.Counter("mobiquery_trace_spans_dropped_total", "",
+		"firehose spans overwritten before any reader snapshotted them")
+
+	var ms runtime.MemStats
+	reg.OnScrape(func() {
+		runtime.ReadMemStats(&ms)
+		heapG.Set(int64(ms.HeapInuse))
+		gcPause.Set(ms.PauseTotalNs)
+		goroutinesG.Set(int64(runtime.NumGoroutine()))
+		gomaxprocsG.Set(int64(runtime.GOMAXPROCS(0)))
+		pub, drop := s.spans.Counts()
+		spansPub.Set(pub)
+		spansDrop.Set(drop)
+	})
 
 	reg.OnScrape(func() {
 		st := &o.scratch

@@ -10,6 +10,7 @@ import (
 
 	"mobiquery/internal/core"
 	"mobiquery/internal/geom"
+	"mobiquery/internal/obs"
 	"mobiquery/internal/pyramid"
 	"mobiquery/internal/radio"
 )
@@ -81,10 +82,11 @@ func (nc NetworkConfig) withDefaults() NetworkConfig {
 
 // serviceOptions collects the Open options.
 type serviceOptions struct {
-	buffer     int
-	aligned    bool
-	tick       time.Duration
-	traceDepth int
+	buffer        int
+	aligned       bool
+	tick          time.Duration
+	traceDepth    int
+	firehoseDepth int
 }
 
 // Option customizes an opened Service.
@@ -121,6 +123,20 @@ func WithTraceDepth(n int) Option {
 	}
 }
 
+// WithSpanFirehose sets how many completed period spans the service-wide
+// span firehose ring retains (default 4096; see Service.FirehoseSpans and
+// the server's GET /v1/trace). The firehose is deliberately lossy: at
+// capacity the oldest span is overwritten and counted dropped, so slow
+// readers never back-pressure the tick path. 0 disables it.
+func WithSpanFirehose(n int) Option {
+	return func(o *serviceOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.firehoseDepth = n
+	}
+}
+
 // WithRealTime drives the service clock from the wall clock: virtual time
 // advances by tick every tick of real time, so subscriptions stream
 // results without explicit Advance calls. Without this option the clock is
@@ -149,6 +165,12 @@ type Service struct {
 	// obs is the service's instrumentation: metric families registered at
 	// Open so every hot-path record is a bare atomic update (observe.go).
 	obs *svcObs
+
+	// spans is the service-wide span firehose every completed period span
+	// is published into (FirehoseSpans, GET /v1/trace); nil when opened
+	// with WithSpanFirehose(0). Ring-buffered and drop-counted — publish
+	// never allocates or blocks on a reader.
+	spans *obs.SpanSink
 
 	// pyramids holds one aggregate tile pyramid per boundary class — the
 	// (period, freshness, phase) tuple whose subscriptions share the exact
@@ -199,7 +221,7 @@ func Open(ctx context.Context, nc NetworkConfig, opts ...Option) (*Service, erro
 	if err := nc.Validate(); err != nil {
 		return nil, err
 	}
-	o := serviceOptions{buffer: 16, traceDepth: 16}
+	o := serviceOptions{buffer: 16, traceDepth: 16, firehoseDepth: 4096}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -228,6 +250,7 @@ func Open(ctx context.Context, nc NetworkConfig, opts ...Option) (*Service, erro
 		subs:     make(map[uint32]*Subscription),
 		pyramids: make(map[pyrKey]*pyramid.Pyramid),
 		stop:     make(chan struct{}),
+		spans:    obs.NewSpanSink(o.firehoseDepth),
 	}
 	engine.SetSampler(s.sampler())
 	s.obs = newSvcObs(s)
@@ -531,6 +554,9 @@ func (s *Service) Advance(d time.Duration) error {
 	}
 	flushEnd := time.Now()
 	o.stageFlush.Observe(flushEnd.Sub(evalEnd).Nanoseconds())
+	// Like the popped stamp, the flush stamp is shared by every span of
+	// the step: the schedule re-arms complete once, for the whole batch.
+	flushNS := flushEnd.UnixNano()
 
 	// Deliver serially in deterministic (deadline, id) order — the same
 	// total order the old collect-then-sort produced, but as a streaming
@@ -583,6 +609,7 @@ func (s *Service) Advance(d time.Duration) error {
 		if p.expire {
 			s.removeSub(p.sub)
 		} else {
+			p.span.FlushNS = flushNS
 			p.sub.deliver(&p.result, &p.span)
 		}
 		cur[l]++
@@ -601,6 +628,17 @@ func (s *Service) Advance(d time.Duration) error {
 		clear(outs[i])
 	}
 	return nil
+}
+
+// FirehoseSpans appends the service-wide span firehose's buffered period
+// spans to buf, oldest first, and returns the result along with the
+// lifetime published and dropped span counts as of the snapshot. The
+// firehose sees every completed period of every subscription (traced or
+// not), ring-buffered to the WithSpanFirehose depth; with the firehose
+// disabled it returns buf unchanged and zero counts. Safe for concurrent
+// use with a running service.
+func (s *Service) FirehoseSpans(buf []PeriodSpan) (spans []PeriodSpan, published, dropped uint64) {
+	return s.spans.Snapshot(buf)
 }
 
 // removeSub unregisters sub from the service and tears it down. Safe to

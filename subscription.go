@@ -118,6 +118,13 @@ type QuerySpec struct {
 	// Requires the on-demand Strategy: a windowed result spans boundaries,
 	// which the per-period prefetch ledger cannot attribute.
 	Window int
+	// Trace is an optional caller-minted trace context. When non-zero,
+	// every period of the subscription carries a span identified by
+	// (Trace, MintSpanID(Trace, k)); completed spans are attached to
+	// QueryResult.Trace so a network front-end can echo them to the
+	// client. Zero (the default) leaves the subscription untraced — the
+	// per-period cost of the machinery is then a single comparison.
+	Trace TraceID
 }
 
 // Validate reports specification errors, including the paper's feasibility
@@ -675,7 +682,9 @@ func (sub *Subscription) close() {
 // rb — Advance flushes each worker's batch once per stripe after the
 // dispatch, so parallel workers never contend on the schedule locks.
 // poppedNS is the wall time the Advance step's PopDue completed — the
-// popped stamp shared by every span of the batch.
+// popped stamp shared by the first span of each subscription in the
+// batch; catch-up periods armed mid-drain stamp their own arming instant
+// instead, keeping every span chain monotone.
 func (sub *Subscription) collectDue(now time.Duration, poppedNS int64, buf []pendingResult, rb *core.RearmBatch) []pendingResult {
 	eng := sub.svc.engine
 	for {
@@ -763,13 +772,31 @@ func (sub *Subscription) collectDue(now time.Duration, poppedNS int64, buf []pen
 			sub.corridor.StageThrough(wr.Due)
 		}
 		sub.lastEvalPos, sub.lastEvalAt, sub.haveEval = pos, wr.Due, true
+		// A traced subscription's span carries its wire identity: the
+		// client-minted trace id plus the deterministic per-period span id
+		// both tiers can recompute (see obs.MintSpanID).
+		var sid obs.SpanID
+		if sub.spec.Trace != 0 {
+			sid = obs.MintSpanID(sub.spec.Trace, wr.K)
+		}
+		// A catch-up period (armed by the previous iteration of this very
+		// drain, after the batch pop) never went back to the scheduler: its
+		// logical pop instant is its armed instant, not the batch pop stamp
+		// taken before the period existed — keeping armed <= popped and its
+		// scheduler-wait segment honestly zero.
+		popNS := poppedNS
+		if sub.lastArmedNS > popNS {
+			popNS = sub.lastArmedNS
+		}
 		buf = append(buf, pendingResult{
 			sub: sub, due: wr.Due, result: sub.makeResult(wr),
 			span: obs.PeriodSpan{
+				Trace:       sub.spec.Trace,
+				Span:        sid,
 				K:           wr.K,
 				Due:         wr.Due,
 				ArmedNS:     sub.lastArmedNS,
-				PoppedNS:    poppedNS,
+				PoppedNS:    popNS,
 				EvalStartNS: evalStartNS,
 				EvalEndNS:   evalEndNS,
 				Class:       class,
@@ -830,8 +857,10 @@ func (sub *Subscription) makeResult(wr core.WindowResult) QueryResult {
 // deliver hands one evaluated period to the subscriber, keeping the
 // drop-vs-deliver ledger: when the buffer is full the result is discarded
 // and counted in Stats().Dropped rather than stalling the service. span is
-// the period's lifecycle record; deliver stamps its outcome and hands it
-// to the trace ring (a no-op when tracing is disabled).
+// the period's lifecycle record; deliver completes it (delivery stamp and
+// outcome), records it in the subscription's trace ring, publishes it to
+// the service span firehose, and — for a traced subscription — attaches a
+// copy to the result so the network front-end can echo it to the client.
 func (sub *Subscription) deliver(r *QueryResult, span *obs.PeriodSpan) {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
@@ -848,21 +877,27 @@ func (sub *Subscription) deliver(r *QueryResult, span *obs.PeriodSpan) {
 		sub.stats.Late++
 		sub.svc.totLate.Add(1)
 	}
-	outcome := obs.OutcomeDelivered
+	// The delivery stamp precedes the channel send so a traced result's
+	// echoed span already carries it; the heap copy is per traced period —
+	// untraced subscriptions keep the allocation-free path.
+	span.DeliveredNS = time.Now().UnixNano()
+	span.Outcome = obs.OutcomeDelivered
+	if span.Trace != 0 {
+		sp := new(obs.PeriodSpan)
+		*sp = *span
+		r.Trace = sp
+	}
 	select {
 	case sub.results <- *r:
 		sub.stats.Delivered++
 		sub.svc.totDelivered.Add(1)
 	default:
-		outcome = obs.OutcomeDropped
+		span.Outcome = obs.OutcomeDropped
 		sub.stats.Dropped++
 		sub.svc.totDropped.Add(1)
 	}
-	if sub.trace != nil {
-		span.DeliveredNS = time.Now().UnixNano()
-		span.Outcome = outcome
-		sub.trace.Record(span)
-	}
+	sub.trace.Record(span)
+	sub.svc.spans.Publish(span)
 }
 
 // TraceSpans appends the subscription's recent period lifecycle spans to
